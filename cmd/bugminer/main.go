@@ -1,0 +1,108 @@
+// Command bugminer mines a single bug source and prints the classified
+// unique faults. Point it at any GNATS-style tracker, debbugs-style tracker,
+// or mbox archive laid out like the study's sources — or pass -simulate to
+// mine a generated one.
+//
+// Usage:
+//
+//	bugminer -source apache -url http://tracker.example   # mine a live site
+//	bugminer -source mysql -simulate                      # self-serve and mine
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"faultstudy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bugminer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		source   = flag.String("source", "apache", "source kind: apache | gnome | mysql")
+		url      = flag.String("url", "", "base URL of the source")
+		simulate = flag.Bool("simulate", false, "serve a simulated source and mine it")
+		seed     = flag.Int64("seed", 1999, "simulated-site seed (with -simulate)")
+	)
+	flag.Parse()
+
+	app, err := parseSource(*source)
+	if err != nil {
+		return err
+	}
+
+	base := *url
+	if *simulate {
+		var handler http.Handler
+		switch app {
+		case faultstudy.AppApache:
+			handler = faultstudy.NewApacheTrackerSite(faultstudy.SiteConfig{Seed: *seed})
+		case faultstudy.AppGnome:
+			handler = faultstudy.NewGnomeTrackerSite(faultstudy.SiteConfig{Seed: *seed})
+		default:
+			handler = faultstudy.NewMySQLArchiveSite(faultstudy.SiteConfig{Seed: *seed})
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: handler}
+		defer srv.Close()
+		go func() { _ = srv.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("serving simulated %s source at %s\n", app, base)
+	}
+	if base == "" {
+		return fmt.Errorf("need -url or -simulate")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var raw []*faultstudy.Report
+	switch app {
+	case faultstudy.AppApache:
+		raw, err = faultstudy.MineApache(ctx, base)
+	case faultstudy.AppGnome:
+		raw, err = faultstudy.MineGnome(ctx, base)
+	default:
+		raw, err = faultstudy.MineMySQL(ctx, base)
+	}
+	if err != nil {
+		return err
+	}
+
+	res := faultstudy.ClassifyReports(raw, faultstudy.StudyOptions{})
+	fmt.Printf("%d raw -> %d qualifying -> %d unique (%d duplicates)\n\n",
+		res.Raw, res.Qualifying, res.Unique, res.Duplicates)
+	for _, c := range res.Faults {
+		fmt.Printf("[%s] %-10s %s\n", c.Result.Class.Short(), c.Result.Trigger, c.Report.Synopsis)
+	}
+	fmt.Println()
+	fmt.Print(res.Table())
+	return nil
+}
+
+func parseSource(s string) (faultstudy.Application, error) {
+	switch s {
+	case "apache":
+		return faultstudy.AppApache, nil
+	case "gnome":
+		return faultstudy.AppGnome, nil
+	case "mysql":
+		return faultstudy.AppMySQL, nil
+	default:
+		return faultstudy.AppApache, fmt.Errorf("unknown source %q (want apache, gnome, or mysql)", s)
+	}
+}

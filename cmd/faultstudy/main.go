@@ -1,0 +1,173 @@
+// Command faultstudy runs the complete study end to end: it serves the three
+// simulated 1999-era bug sources on loopback, mines them over HTTP exactly
+// as the paper's methodology describes, narrows and classifies the faults,
+// and prints the regenerated tables, figures, and aggregate numbers.
+//
+// Usage:
+//
+//	faultstudy [-seed N] [-noise N] [-dup-rate R] [-figures] [-verbose]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"faultstudy"
+	"faultstudy/internal/taxonomy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Int64("seed", 1999, "site generation seed")
+		noise   = flag.Int("noise", 0, "noise reports per site (0 = default volume)")
+		dupRate = flag.Float64("dup-rate", 0, "expected duplicates per fault (0 = default 1.0)")
+		figures = flag.Bool("figures", true, "render the release/time distribution figures")
+		verbose = flag.Bool("verbose", false, "list each classified fault")
+		dump    = flag.String("dump-corpus", "", "write the 139-fault corpus as JSON to this file and exit")
+		appOnly = flag.String("app", "", "study a single application: apache | gnome | mysql")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		data, err := faultstudy.CorpusJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dump, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d faults (%d bytes) to %s\n", len(faultstudy.Corpus()), len(data), *dump)
+		return nil
+	}
+
+	cfg := faultstudy.SiteConfig{Seed: *seed, NoiseReports: *noise, DuplicateRate: *dupRate}
+	sources, shutdown, err := serveSites(cfg)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	start := time.Now()
+
+	if *appOnly != "" {
+		return runSingle(ctx, *appOnly, sources, *verbose)
+	}
+
+	res, err := faultstudy.RunStudy(ctx, sources, faultstudy.StudyOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mined, narrowed and classified in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	for _, app := range []faultstudy.Application{faultstudy.AppApache, faultstudy.AppGnome, faultstudy.AppMySQL} {
+		r := res.Apps[app]
+		fmt.Printf("%s: %d raw -> %d qualifying -> %d unique (%d duplicates folded)\n",
+			app, r.Raw, r.Qualifying, r.Unique, r.Duplicates)
+		fmt.Print(r.Table())
+		if *verbose {
+			for _, c := range r.Faults {
+				fmt.Printf("    [%s] %s (trigger %s, confidence %.2f)\n",
+					c.Result.Class.Short(), c.Report.Synopsis, c.Result.Trigger, c.Result.Confidence)
+			}
+		}
+		fmt.Println()
+	}
+
+	counts, total := res.Totals()
+	fmt.Printf("aggregate: %d unique faults; %d environment-dependent-nontransient, %d environment-dependent-transient\n\n",
+		total,
+		counts[taxonomy.ClassEnvDependentNonTransient],
+		counts[taxonomy.ClassEnvDependentTransient])
+
+	if *figures {
+		fmt.Print(faultstudy.Figure1Apache().Render())
+		fmt.Println()
+		fmt.Print(faultstudy.Figure2Gnome().Render())
+		fmt.Println()
+		fmt.Print(faultstudy.Figure3MySQL().Render())
+	}
+	return nil
+}
+
+// runSingle mines and classifies one application's source.
+func runSingle(ctx context.Context, name string, sources faultstudy.StudySources, verbose bool) error {
+	var (
+		raw []*faultstudy.Report
+		err error
+	)
+	switch name {
+	case "apache":
+		raw, err = faultstudy.MineApache(ctx, sources.ApacheBase)
+	case "gnome":
+		raw, err = faultstudy.MineGnome(ctx, sources.GnomeBase)
+	case "mysql":
+		raw, err = faultstudy.MineMySQL(ctx, sources.MySQLBase)
+	default:
+		return fmt.Errorf("unknown -app %q (want apache, gnome, or mysql)", name)
+	}
+	if err != nil {
+		return err
+	}
+	res := faultstudy.ClassifyReports(raw, faultstudy.StudyOptions{})
+	fmt.Printf("%s: %d raw -> %d qualifying -> %d unique (%d duplicates folded)\n",
+		name, res.Raw, res.Qualifying, res.Unique, res.Duplicates)
+	fmt.Print(res.Table())
+	if verbose {
+		for _, c := range res.Faults {
+			fmt.Printf("    [%s] %s (trigger %s)\n", c.Result.Class.Short(), c.Report.Synopsis, c.Result.Trigger)
+		}
+	}
+	return nil
+}
+
+// serveSites binds the three simulated trackers to loopback listeners.
+func serveSites(cfg faultstudy.SiteConfig) (faultstudy.StudySources, func(), error) {
+	var (
+		src     faultstudy.StudySources
+		servers []*http.Server
+	)
+	shutdown := func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}
+	serve := func(h http.Handler) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		srv := &http.Server{Handler: h}
+		servers = append(servers, srv)
+		go func() { _ = srv.Serve(ln) }()
+		return "http://" + ln.Addr().String(), nil
+	}
+	var err error
+	if src.ApacheBase, err = serve(faultstudy.NewApacheTrackerSite(cfg)); err != nil {
+		shutdown()
+		return src, nil, err
+	}
+	if src.GnomeBase, err = serve(faultstudy.NewGnomeTrackerSite(cfg)); err != nil {
+		shutdown()
+		return src, nil, err
+	}
+	if src.MySQLBase, err = serve(faultstudy.NewMySQLArchiveSite(cfg)); err != nil {
+		shutdown()
+		return src, nil, err
+	}
+	return src, shutdown, nil
+}

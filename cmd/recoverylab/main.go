@@ -1,0 +1,149 @@
+// Command recoverylab runs the recovery-verification experiment: every
+// corpus fault's executable reproduction under every recovery strategy, or a
+// single mechanism for close inspection.
+//
+// Usage:
+//
+//	recoverylab                                 # the full 139-fault matrix
+//	recoverylab -mechanism httpd/dns-error      # one fault, all strategies
+//	recoverylab -lee93                          # the Tandem reconciliation
+//	recoverylab -ablate                         # retry + rejuvenation ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"faultstudy"
+	"faultstudy/internal/experiment"
+	"faultstudy/internal/recovery"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "recoverylab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mechanism = flag.String("mechanism", "", "run one seeded bug (e.g. httpd/dns-error)")
+		seed      = flag.Int64("seed", 42, "environment seed")
+		retries   = flag.Int("retries", 0, "retry budget per failure (0 = default 3)")
+		lee93     = flag.Bool("lee93", false, "print the Lee & Iyer reconciliation")
+		csvDir    = flag.String("csv", "", "directory to write CSV artifacts into")
+		ablate    = flag.Bool("ablate", false, "run the retry and rejuvenation ablations")
+		sensitive = flag.Bool("sensitivity", false, "run the classifier sensitivity sweep")
+		trace     = flag.Bool("trace", false, "print each recovery step (with -mechanism)")
+		load      = flag.Bool("load", false, "run the ops-to-failure load sweep")
+	)
+	flag.Parse()
+
+	policy := faultstudy.RecoveryPolicy{MaxRetries: *retries}
+	if *trace {
+		policy.Trace = func(ev recovery.TraceEvent) {
+			if ev.Err != nil {
+				fmt.Printf("    [%s] %s (attempt %d): %v\n", ev.Kind, ev.Op, ev.Attempt, ev.Err)
+			} else {
+				fmt.Printf("    [%s] %s (attempt %d)\n", ev.Kind, ev.Op, ev.Attempt)
+			}
+		}
+	}
+
+	if *mechanism != "" {
+		return runOne(*mechanism, policy, *seed)
+	}
+	if *load {
+		points, err := experiment.RunOpsToFailure(5000, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderOpsToFailure(points))
+		return nil
+	}
+	if *sensitive {
+		points := experiment.RunClassifierSensitivity([]float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0})
+		fmt.Print(experiment.RenderSensitivity(points))
+		return nil
+	}
+	if *ablate {
+		retryAb, err := experiment.RunRetryAblation(5, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(retryAb)
+		fmt.Println()
+		rejuvAb, err := experiment.RunRejuvenationAblation([]int{0, 16, 32, 64, 128}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rejuvAb)
+		fmt.Println()
+		reclaimAb, err := experiment.RunReclaimAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(reclaimAb)
+		fmt.Println()
+		mitAb, err := experiment.RunMitigationAblation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(mitAb)
+		return nil
+	}
+
+	matrix, err := faultstudy.RunRecoveryMatrix(policy, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(matrix)
+	if *lee93 {
+		fmt.Println()
+		fmt.Print(faultstudy.CompareLee93(matrix))
+	}
+	if *csvDir != "" {
+		files, err := faultstudy.ExportArtifacts(matrix)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nwrote %d CSV artifacts to %s\n", len(files), *csvDir)
+	}
+	return nil
+}
+
+func runOne(mechanism string, policy faultstudy.RecoveryPolicy, seed int64) error {
+	mgr := faultstudy.NewRecoveryManager(policy)
+	for _, strat := range recovery.Strategies() {
+		app, sc, err := faultstudy.BuildScenario(mechanism, seed)
+		if err != nil {
+			return err
+		}
+		out, err := mgr.Run(app, sc, strat)
+		if err != nil {
+			return err
+		}
+		status := "LOST"
+		if out.Survived {
+			status = "survived"
+		}
+		fmt.Printf("%-18s %-9s failures=%d recoveries=%d attempts=%d",
+			strat, status, out.Failures, out.Recoveries, out.Attempts)
+		if out.FirstFailure != nil {
+			fmt.Printf("  first failure: %s", out.FirstFailure.Msg)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Paper tables: regenerate every table and figure of the paper's evaluation
+// from the corpus via the reproducible classifier, run the recovery
+// verification, and print the full set side by side with the published
+// numbers.
+//
+//	go run ./examples/paper-tables
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faultstudy"
+)
+
+func main() {
+	fmt.Println("==== Tables 1-3: fault classification ====")
+	for _, app := range []faultstudy.Application{faultstudy.AppApache, faultstudy.AppGnome, faultstudy.AppMySQL} {
+		res := faultstudy.Table(app)
+		fmt.Print(res)
+		if res.Matches() {
+			fmt.Println("-> matches the paper exactly")
+		} else {
+			fmt.Println("-> DIVERGES from the paper")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("==== Section 5.4 aggregate ====")
+	fmt.Print(faultstudy.Aggregate())
+	fmt.Println()
+
+	fmt.Println("==== Figures 1-3: fault distributions ====")
+	for _, fig := range []*faultstudy.FigureSeries{
+		faultstudy.Figure1Apache(),
+		faultstudy.Figure2Gnome(),
+		faultstudy.Figure3MySQL(),
+	} {
+		fmt.Print(fig.Render())
+		fmt.Println()
+	}
+
+	fmt.Println("==== Recovery verification (the paper's future work, §8) ====")
+	matrix, err := faultstudy.RunRecoveryMatrix(faultstudy.RecoveryPolicy{}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(matrix)
+	fmt.Println()
+
+	fmt.Println("==== Section 7: reconciliation with Lee & Iyer ====")
+	fmt.Print(faultstudy.CompareLee93(matrix))
+}

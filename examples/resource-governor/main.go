@@ -1,0 +1,61 @@
+// Resource governor: the paper's §6.2 mitigation, live.
+//
+// Nontransient faults defeat generic recovery because the environmental
+// condition persists across failover. The paper's first suggested fix is to
+// "detect the problem and automatically increase the resources available to
+// the application". This example runs a descriptor-exhaustion fault and a
+// full-file-system fault under plain process pairs (both lost), then again
+// with the resource governor widening the exhausted limit before each retry
+// (both survived) — and finally a changed-hostname fault, which no amount of
+// resource growth can fix.
+//
+//	go run ./examples/resource-governor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faultstudy"
+)
+
+func main() {
+	demos := []struct {
+		title     string
+		mechanism string
+	}{
+		{"descriptor exhaustion (growable)", "httpd/fd-exhaustion"},
+		{"full file system (growable)", "httpd/fs-full"},
+		{"changed hostname (not a resource)", "desktop/hostname-change"},
+	}
+
+	for _, d := range demos {
+		fmt.Printf("== %s\n", d.title)
+		for _, governed := range []bool{false, true} {
+			policy := faultstudy.RecoveryPolicy{GrowResources: governed}
+			mgr := faultstudy.NewRecoveryManager(policy)
+			app, sc, err := faultstudy.BuildScenario(d.mechanism, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := mgr.Run(app, sc, faultstudy.StrategyProcessPairs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "plain process pairs   "
+			if governed {
+				label = "with resource governor"
+			}
+			verdict := "LOST"
+			if out.Survived {
+				verdict = "survived"
+			}
+			fmt.Printf("   %s : %-8s (attempts %d)\n", label, verdict, out.Attempts)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Growable limits can be governed; configuration and application-internal")
+	fmt.Println("state cannot — which is why §6.2's mitigations only cover part of the")
+	fmt.Println("nontransient class.")
+}

@@ -1,0 +1,54 @@
+// Web-server recovery: run the simulated Apache under a process-pair
+// recovery system and watch the paper's asymmetry live.
+//
+// Two faults are exercised. A DNS outage (environment-dependent-transient)
+// is survived: the failover takes time, the name service heals, the retried
+// request succeeds. The long-URL hash overflow (environment-independent)
+// kills the backup too: the checkpoint restores the exact state and the
+// retried request re-triggers the same deterministic bug.
+//
+//	go run ./examples/webserver-recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faultstudy"
+)
+
+func main() {
+	mgr := faultstudy.NewRecoveryManager(faultstudy.RecoveryPolicy{})
+
+	demo := []struct {
+		title     string
+		mechanism string
+	}{
+		{"transient: the site DNS server starts failing mid-request", "httpd/dns-error"},
+		{"transient: hung children exhaust the process table at peak load", "httpd/proc-table-full"},
+		{"deterministic: a browser submits a 9000-character URL", "httpd/long-url-overflow"},
+		{"nontransient: the file system fills up under the server", "httpd/fs-full"},
+	}
+
+	for _, d := range demo {
+		fmt.Printf("== %s\n", d.title)
+		app, scenario, err := faultstudy.BuildScenario(d.mechanism, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := mgr.Run(app, scenario, faultstudy.StrategyProcessPairs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   first failure : %v\n", out.FirstFailure)
+		if out.Survived {
+			fmt.Printf("   outcome       : SURVIVED after %d retry attempt(s) — the environment changed under us\n", out.Attempts)
+		} else {
+			fmt.Printf("   outcome       : LOST after %d retry attempt(s) — %v\n", out.Attempts, out.Err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("This is the paper's conclusion in miniature: process pairs save the")
+	fmt.Println("transients (a small slice) and nothing else.")
+}

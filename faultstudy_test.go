@@ -1,0 +1,139 @@
+package faultstudy_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"faultstudy"
+)
+
+// TestPublicSurface exercises every capability group of the facade the way a
+// downstream user would.
+func TestPublicSurface(t *testing.T) {
+	// Corpus access.
+	corpus := faultstudy.Corpus()
+	if len(corpus) != 139 {
+		t.Fatalf("corpus has %d faults", len(corpus))
+	}
+	if len(faultstudy.CorpusByApp(faultstudy.AppApache)) != 50 {
+		t.Error("apache corpus wrong size")
+	}
+
+	// Classification.
+	classifier := faultstudy.NewClassifier(faultstudy.ClassifierOptions{})
+	decision := classifier.Classify(&faultstudy.Report{
+		ID:          "x",
+		App:         faultstudy.AppMySQL,
+		Synopsis:    "server dies",
+		Description: "race condition between threads; works on a retry",
+	})
+	if decision.Class != faultstudy.ClassEnvDependentTransient {
+		t.Errorf("class = %v", decision.Class)
+	}
+
+	// Tables, figures, aggregate.
+	for _, app := range []faultstudy.Application{faultstudy.AppApache, faultstudy.AppGnome, faultstudy.AppMySQL} {
+		if res := faultstudy.Table(app); !res.Matches() {
+			t.Errorf("%s table diverges:\n%s", app, res)
+		}
+	}
+	if agg := faultstudy.Aggregate(); agg.Total != 139 {
+		t.Errorf("aggregate total = %d", agg.Total)
+	}
+	for _, fig := range []*faultstudy.FigureSeries{
+		faultstudy.Figure1Apache(), faultstudy.Figure2Gnome(), faultstudy.Figure3MySQL(),
+	} {
+		if fig.Render() == "" {
+			t.Error("empty figure")
+		}
+	}
+
+	// Single-fault recovery run.
+	mgr := faultstudy.NewRecoveryManager(faultstudy.RecoveryPolicy{})
+	app, sc, err := faultstudy.BuildScenario("httpd/dns-error", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mgr.Run(app, sc, faultstudy.StrategyProcessPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Survived {
+		t.Errorf("dns-error under process pairs: %v", out.Err)
+	}
+}
+
+// TestPublicMiningRoundTrip mines one simulated source through the facade.
+func TestPublicMiningRoundTrip(t *testing.T) {
+	site := httptest.NewServer(faultstudy.NewGnomeTrackerSite(faultstudy.SiteConfig{Seed: 4}))
+	defer site.Close()
+	raw, err := faultstudy.MineGnome(context.Background(), site.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := faultstudy.ClassifyReports(raw, faultstudy.StudyOptions{})
+	if res.Unique != 45 {
+		t.Errorf("unique = %d, want 45", res.Unique)
+	}
+}
+
+// TestPublicStudy runs the whole pipeline through the facade.
+func TestPublicStudy(t *testing.T) {
+	cfg := faultstudy.SiteConfig{Seed: 11}
+	apache := httptest.NewServer(faultstudy.NewApacheTrackerSite(cfg))
+	defer apache.Close()
+	gnome := httptest.NewServer(faultstudy.NewGnomeTrackerSite(cfg))
+	defer gnome.Close()
+	mysql := httptest.NewServer(faultstudy.NewMySQLArchiveSite(cfg))
+	defer mysql.Close()
+
+	res, err := faultstudy.RunStudy(context.Background(), faultstudy.StudySources{
+		ApacheBase: apache.URL, GnomeBase: gnome.URL, MySQLBase: mysql.URL,
+	}, faultstudy.StudyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, total := res.Totals(); total != 139 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+// TestPublicRecoveryMatrixAndLee93 runs the recovery experiments through the
+// facade.
+func TestPublicRecoveryMatrixAndLee93(t *testing.T) {
+	m, err := faultstudy.RunRecoveryMatrix(faultstudy.RecoveryPolicy{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic := m.Rate(faultstudy.StrategyProcessPairs, faultstudy.ClassEnvDependentTransient)
+	if generic.Value() < 0.9 {
+		t.Errorf("EDT survival %v", generic)
+	}
+	l := faultstudy.CompareLee93(m)
+	if l.OurGenericRate.N != 139 {
+		t.Errorf("lee93 N = %d", l.OurGenericRate.N)
+	}
+}
+
+func TestCorpusJSON(t *testing.T) {
+	data, err := faultstudy.CorpusJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []*faultstudy.Fault
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 139 {
+		t.Fatalf("decoded %d faults", len(decoded))
+	}
+	if decoded[0].Class != faultstudy.Corpus()[0].Class {
+		t.Error("class did not round-trip")
+	}
+	if !strings.Contains(string(data), `"environment-dependent-transient"`) {
+		t.Error("classes should serialize by name")
+	}
+}

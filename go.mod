@@ -1,0 +1,3 @@
+module faultstudy
+
+go 1.22

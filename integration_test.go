@@ -1,0 +1,103 @@
+package faultstudy_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd runs every command and example the way a user would
+// (`go run ...`) and checks each produces its expected headline output.
+// Skipped under -short: each run compiles and executes a binary.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real binaries; skipped with -short")
+	}
+	runs := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "cmd/faultstudy",
+			args: []string{"run", "./cmd/faultstudy", "-figures=false"},
+			want: []string{"apache: 347 raw", "50 unique", "45 unique", "44 unique", "aggregate: 139 unique faults"},
+		},
+		{
+			name: "cmd/faultstudy -app",
+			args: []string{"run", "./cmd/faultstudy", "-app", "gnome"},
+			want: []string{"gnome:", "45 unique", "environment-independent              39"},
+		},
+		{
+			name: "cmd/bugminer",
+			args: []string{"run", "./cmd/bugminer", "-source", "mysql", "-simulate"},
+			want: []string{"44 unique", "environment-dependent-transient      2"},
+		},
+		{
+			name: "cmd/recoverylab matrix",
+			args: []string{"run", "./cmd/recoverylab"},
+			want: []string{"process-pairs", "12/12 (100%)", "0/113 (0%)"},
+		},
+		{
+			name: "cmd/recoverylab single",
+			args: []string{"run", "./cmd/recoverylab", "-mechanism", "httpd/dns-error"},
+			want: []string{"process-pairs", "survived"},
+		},
+		{
+			name: "examples/quickstart",
+			args: []string{"run", "./examples/quickstart"},
+			want: []string{"environment-dependent-transient", "139 bugs"},
+		},
+		{
+			name: "examples/mining-pipeline",
+			args: []string{"run", "./examples/mining-pipeline"},
+			want: []string{"50 unique faults", "environment-independent              36"},
+		},
+		{
+			name: "examples/webserver-recovery",
+			args: []string{"run", "./examples/webserver-recovery"},
+			want: []string{"SURVIVED", "LOST"},
+		},
+		{
+			name: "examples/resource-governor",
+			args: []string{"run", "./examples/resource-governor"},
+			want: []string{"with resource governor : survived", "LOST"},
+		},
+		{
+			name: "examples/paper-tables",
+			args: []string{"run", "./examples/paper-tables"},
+			want: []string{"matches the paper exactly", "Tandem", "12/12 (100%)"},
+		},
+	}
+	for _, r := range runs {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", r.args...)
+			cmd.Dir = "."
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				defer close(done)
+				out, err = cmd.CombinedOutput()
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				<-done
+				t.Fatal("binary timed out")
+			}
+			if err != nil {
+				t.Fatalf("%v failed: %v\n%s", r.args, err, out)
+			}
+			for _, want := range r.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

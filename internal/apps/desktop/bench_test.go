@@ -1,0 +1,61 @@
+package desktop
+
+import (
+	"testing"
+
+	"faultstudy/internal/simenv"
+)
+
+func benchDesktop(b *testing.B) *Desktop {
+	b.Helper()
+	d := New(simenv.New(1), nil)
+	if err := d.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkDispatchPanel(b *testing.B) {
+	d := benchDesktop(b)
+	ev := Event{Widget: "panel", Action: "open-main-menu"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Dispatch(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchSetCell(b *testing.B) {
+	d := benchDesktop(b)
+	ev := Event{Widget: "gnumeric", Action: "set-cell", Arg: "A1=42"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Dispatch(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	d := benchDesktop(b)
+	for i := 0; i < 50; i++ {
+		if err := d.Dispatch(Event{Widget: "gnumeric", Action: "set-cell", Arg: "A1=1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := d.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Stop()
+		if err := d.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sqldb
+
+// btree is an in-memory B-tree keyed by Value with row-id postings, used for
+// secondary indexes. Keys may repeat (non-unique index): each key holds the
+// set of row ids carrying that value.
+//
+// The tree is the substrate for the seeded index-update-scan bug: InScan
+// exposes an ordered cursor that sees keys inserted ahead of the cursor
+// position during the scan — exactly the behaviour that made the original
+// "update an index to a value found later in the scan" bug possible.
+
+const btreeOrder = 16 // max children per interior node
+
+type btreeEntry struct {
+	key  Value
+	rows []int // row ids with this key value
+}
+
+type btreeNode struct {
+	entries  []btreeEntry
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// btree is the index root.
+type btree struct {
+	root *btreeNode
+	size int // number of distinct keys
+}
+
+func newBTree() *btree {
+	return &btree{root: &btreeNode{}}
+}
+
+// Len returns the number of distinct keys.
+func (t *btree) Len() int { return t.size }
+
+// Insert adds a (key, rowID) posting.
+func (t *btree) Insert(key Value, rowID int) {
+	if added := t.insert(t.root, key, rowID); added {
+		t.size++
+	}
+	if len(t.root.entries) >= btreeOrder {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.splitChild(t.root, 0)
+	}
+}
+
+func (t *btree) insert(n *btreeNode, key Value, rowID int) bool {
+	idx, found := n.search(key)
+	if found {
+		n.entries[idx].rows = appendRow(n.entries[idx].rows, rowID)
+		return false
+	}
+	if n.leaf() {
+		n.entries = append(n.entries, btreeEntry{})
+		copy(n.entries[idx+1:], n.entries[idx:])
+		n.entries[idx] = btreeEntry{key: key, rows: []int{rowID}}
+		return true
+	}
+	child := n.children[idx]
+	added := t.insert(child, key, rowID)
+	if len(child.entries) >= btreeOrder {
+		t.splitChild(n, idx)
+	}
+	return added
+}
+
+// splitChild splits the idx'th child of n around its median entry.
+func (t *btree) splitChild(n *btreeNode, idx int) {
+	child := n.children[idx]
+	mid := len(child.entries) / 2
+	median := child.entries[mid]
+
+	right := &btreeNode{
+		entries: append([]btreeEntry(nil), child.entries[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+
+	n.entries = append(n.entries, btreeEntry{})
+	copy(n.entries[idx+1:], n.entries[idx:])
+	n.entries[idx] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = right
+}
+
+// search finds the position of key within the node's entries; found reports
+// an exact hit.
+func (n *btreeNode) search(key Value) (int, bool) {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch cmp := key.Compare(n.entries[mid].key); {
+		case cmp == 0:
+			return mid, true
+		case cmp < 0:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+// Lookup returns the row ids for an exact key, or nil.
+func (t *btree) Lookup(key Value) []int {
+	n := t.root
+	for {
+		idx, found := n.search(key)
+		if found {
+			return append([]int(nil), n.entries[idx].rows...)
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[idx]
+	}
+}
+
+// Delete removes a (key, rowID) posting. Empty keys are retained as
+// tombstones (the simulated ISAM does not rebalance until OPTIMIZE TABLE).
+func (t *btree) Delete(key Value, rowID int) bool {
+	n := t.root
+	for {
+		idx, found := n.search(key)
+		if found {
+			rows := n.entries[idx].rows
+			for i, r := range rows {
+				if r == rowID {
+					n.entries[idx].rows = append(rows[:i], rows[i+1:]...)
+					return true
+				}
+			}
+			return false
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[idx]
+	}
+}
+
+// Scan calls fn for each (key, rowID) posting in ascending key order,
+// stopping early when fn returns false. Postings inserted by fn at key
+// positions *after* the cursor are visited by the same scan — the behaviour
+// the index-update-scan bug depends on.
+func (t *btree) Scan(fn func(key Value, rowID int) bool) {
+	t.scan(t.root, fn)
+}
+
+func (t *btree) scan(n *btreeNode, fn func(Value, int) bool) bool {
+	for i := 0; i < len(n.entries); i++ {
+		if !n.leaf() {
+			if !t.scan(n.children[i], fn) {
+				return false
+			}
+		}
+		// Snapshot the posting list: fn may append to it.
+		rows := append([]int(nil), n.entries[i].rows...)
+		for _, r := range rows {
+			if !fn(n.entries[i].key, r) {
+				return false
+			}
+		}
+	}
+	if !n.leaf() {
+		return t.scan(n.children[len(n.entries)], fn)
+	}
+	return true
+}
+
+// Keys returns the distinct keys in ascending order.
+func (t *btree) Keys() []Value {
+	var keys []Value
+	last := -1
+	t.Scan(func(k Value, _ int) bool {
+		if last < 0 || keys[last].Compare(k) != 0 {
+			keys = append(keys, k)
+			last++
+		}
+		return true
+	})
+	return keys
+}
+
+func appendRow(rows []int, id int) []int {
+	for _, r := range rows {
+		if r == id {
+			return rows
+		}
+	}
+	return append(rows, id)
+}

@@ -1,0 +1,178 @@
+// Package sqldb is a simulated multi-user SQL database server in the mold of
+// MySQL 3.22, built on the simulated operating environment and seeded with
+// the bugs the study catalogued for MySQL (§5.3): the index-update-scan
+// crash, the ORDER-BY-on-empty-result crash, the COUNT-on-empty-table crash,
+// the OPTIMIZE TABLE crash, the FLUSH-after-LOCK crash, and the
+// environment-dependent conditions (descriptor competition, missing reverse
+// DNS, oversized database files, full file systems, and the two races).
+//
+// The engine is real, if small: a lexer, a recursive-descent parser, an
+// executor over in-memory tables with disk-space accounting on the simulated
+// file system, and B-tree secondary indexes. The seeded bugs live at the
+// exact spots their originals did — the index-update bug, for example, is the
+// genuine naive scan-while-updating algorithm, and its fix (scan first, then
+// update) is what runs when the bug is disabled.
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind discriminates lexer tokens.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokString
+	tokSymbol // ( ) , = < > <= >= != *
+	tokEOF
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string // identifiers are kept verbatim; keywords match case-insensitively
+}
+
+// lex splits a statement into tokens. SQL strings use single quotes with ”
+// escaping. C-style /* */ comments are skipped.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && input[i+1] == '*':
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sqldb: unterminated comment at byte %d", i)
+			}
+			i += 2 + end + 2
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqldb: unterminated string at byte %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i + 1
+			for j < n && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j]})
+			i = j
+		case isIdentByte(c):
+			j := i
+			for j < n && isIdentByte(input[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j]})
+			i = j
+		case strings.ContainsRune("(),=*+", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c)})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: input[i : i+2]})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("sqldb: stray '!' at byte %d", i)
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: string(c)})
+				i++
+			}
+		case c == ';':
+			i++ // statement terminator, ignored
+		default:
+			return nil, fmt.Errorf("sqldb: unexpected byte %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+// cursor walks a token stream during parsing.
+type cursor struct {
+	toks []token
+	pos  int
+}
+
+func (c *cursor) peek() token { return c.toks[c.pos] }
+
+func (c *cursor) next() token {
+	t := c.toks[c.pos]
+	if t.kind != tokEOF {
+		c.pos++
+	}
+	return t
+}
+
+// acceptKeyword consumes the next token when it is the given keyword
+// (case-insensitive).
+func (c *cursor) acceptKeyword(kw string) bool {
+	t := c.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		c.pos++
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or fails.
+func (c *cursor) expectKeyword(kw string) error {
+	if !c.acceptKeyword(kw) {
+		return fmt.Errorf("sqldb: expected %s, got %q", kw, c.peek().text)
+	}
+	return nil
+}
+
+// acceptSymbol consumes the next token when it is the given symbol.
+func (c *cursor) acceptSymbol(sym string) bool {
+	t := c.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		c.pos++
+		return true
+	}
+	return false
+}
+
+// expectSymbol consumes the symbol or fails.
+func (c *cursor) expectSymbol(sym string) error {
+	if !c.acceptSymbol(sym) {
+		return fmt.Errorf("sqldb: expected %q, got %q", sym, c.peek().text)
+	}
+	return nil
+}
+
+// expectIdent consumes and returns an identifier.
+func (c *cursor) expectIdent() (string, error) {
+	t := c.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqldb: expected identifier, got %q", t.text)
+	}
+	c.pos++
+	return t.text, nil
+}

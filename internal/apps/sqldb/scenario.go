@@ -1,0 +1,153 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"faultstudy/internal/faultinject"
+)
+
+// Scenarios returns the executable reproduction of each seeded MySQL bug.
+func Scenarios(srv *Server) map[string]faultinject.Scenario {
+	env := srv.Env()
+	q := func(sql string) faultinject.Op {
+		return faultinject.Op{Name: sql, Do: func() error {
+			_, err := srv.Exec(sql)
+			return err
+		}}
+	}
+	seedTable := func(rows int) []faultinject.Op {
+		ops := []faultinject.Op{
+			q("CREATE TABLE t (k INT, name TEXT)"),
+			q("CREATE INDEX k_idx ON t (k)"),
+		}
+		for i := 1; i <= rows; i++ {
+			ops = append(ops, q(fmt.Sprintf("INSERT INTO t VALUES (%d, 'row%d')", i, i)))
+		}
+		return ops
+	}
+
+	scenarios := map[string]faultinject.Scenario{
+		MechIndexUpdateScan: {
+			Description: "an UPDATE moves indexed keys to values found later in the scan",
+			Ops: append(seedTable(5),
+				q("UPDATE t SET k = k + 1")),
+		},
+		MechOrderByEmpty: {
+			Description: "a SELECT matching zero records carries an ORDER BY",
+			Ops: append(seedTable(3),
+				q("SELECT * FROM t WHERE k > 100 ORDER BY name")),
+		},
+		MechCountEmpty: {
+			Description: "COUNT runs against a freshly created empty table",
+			Ops: []faultinject.Op{
+				q("CREATE TABLE empty_t (c INT)"),
+				q("SELECT COUNT(c) FROM empty_t"),
+			},
+		},
+		MechOptimizeCrash: {
+			Description: "OPTIMIZE TABLE rebuilds a table",
+			Ops: append(seedTable(3),
+				q("OPTIMIZE TABLE t")),
+		},
+		MechFlushAfterLock: {
+			Description: "FLUSH TABLES is issued while LOCK TABLES is held",
+			Ops: append(seedTable(2),
+				q("LOCK TABLES t READ"),
+				q("FLUSH TABLES")),
+		},
+		MechFDCompetition: {
+			Description: "a co-hosted web server consumes nearly every descriptor",
+			Stage: func() {
+				for env.FDs().Limit()-env.FDs().InUse() > 0 {
+					if _, err := env.FDs().Open("httpd-neighbor"); err != nil {
+						break
+					}
+				}
+			},
+			Ops: []faultinject.Op{q("CREATE TABLE t2 (c INT)")},
+		},
+		MechNoReverseDNS: {
+			Description: "a client connects from an address with no PTR record",
+			Stage: func() {
+				env.DNS().AddHostNoReverse("client.remote.example", "10.7.7.7")
+			},
+			Ops: []faultinject.Op{{Name: "connect 10.7.7.7", Do: func() error {
+				_, err := srv.Connect("10.7.7.7")
+				return err
+			}}},
+		},
+		MechDBFileLimit: {
+			Description: "the table datafile reaches the maximum allowed file size",
+			Stage: func() {
+				_ = env.Disk().SetCapacity(1 << 30)
+			},
+			Ops: append([]faultinject.Op{
+				q("CREATE TABLE big (c INT)"),
+				{Name: "pre-grow datafile", Do: func() error {
+					return env.Disk().Append("/var/db/big.ISD", Owner,
+						env.Disk().MaxFileSize()-rowBytes/2)
+				}},
+			},
+				q("INSERT INTO big VALUES (1)")),
+		},
+		MechFSFull: {
+			Description: "another tenant fills the data partition",
+			Ops: []faultinject.Op{
+				q("CREATE TABLE t3 (c INT)"),
+				{Name: "partition fills", Do: func() error {
+					return env.Disk().FillFrom("other-tenant", rowBytes/2)
+				}},
+				q("INSERT INTO t3 VALUES (1)"),
+			},
+		},
+		MechSignalMaskRace: {
+			Description: "a signal lands inside the unmask window during a query",
+			Stage:       func() { env.Sched().Force(MechSignalMaskRace, 0) },
+			Ops: []faultinject.Op{
+				q("CREATE TABLE r (c INT)"),
+			},
+		},
+		MechLoginAdminRace: {
+			Description: "a login interleaves with the administrator's privilege reload",
+			Stage:       func() { env.Sched().Force(MechLoginAdminRace, 0) },
+			Ops: []faultinject.Op{
+				q("GRANT SELECT ON t TO newuser"),
+				{Name: "login during reload", Do: func() error {
+					_, err := srv.Connect("10.0.0.8")
+					return err
+				}},
+			},
+		},
+	}
+
+	for _, defect := range []string{"null-deref", "stale-buffer", "bad-init",
+		"exec-loop", "bounds", "missing-check"} {
+		key := "sqldb/" + defect
+		tbl := "bug_" + underscore(defect)
+		scenarios[key] = faultinject.Scenario{
+			Description: "a query exercises the " + defect + " defect path",
+			Ops: []faultinject.Op{
+				q("CREATE TABLE " + tbl + " (c INT)"),
+				q("SELECT * FROM " + tbl),
+			},
+		}
+	}
+
+	for key, sc := range scenarios {
+		sc.Mechanism = key
+		scenarios[key] = sc
+	}
+	return scenarios
+}
+
+func underscore(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '-' {
+			out[i] = '_'
+		} else {
+			out[i] = s[i]
+		}
+	}
+	return string(out)
+}

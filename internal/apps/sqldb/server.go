@@ -1,0 +1,366 @@
+package sqldb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"faultstudy/internal/faultinject"
+	"faultstudy/internal/simenv"
+	"faultstudy/internal/taxonomy"
+)
+
+// Owner is the environment owner tag for all database resources.
+const Owner = "mysqld"
+
+// serverPort is the listening port.
+const serverPort = 3306
+
+// Server is the simulated database server.
+type Server struct {
+	env    *simenv.Env
+	faults *faultinject.Set
+
+	mu          sync.Mutex
+	running     bool
+	tables      map[string]*table
+	lockedTable string
+	connections map[int]string // conn id -> client address
+	nextConn    int
+	queries     int64
+	// pendingGrants counts GRANTs awaiting FLUSH PRIVILEGES — the shared
+	// structure the login/admin race corrupts.
+	pendingGrants int
+}
+
+// New builds a server over the environment with the given active bug set.
+func New(env *simenv.Env, faults *faultinject.Set) *Server {
+	return &Server{
+		env:         env,
+		faults:      faults,
+		tables:      make(map[string]*table),
+		connections: make(map[int]string),
+		nextConn:    1,
+	}
+}
+
+// Name returns the environment owner tag.
+func (s *Server) Name() string { return Owner }
+
+// Env returns the server's environment.
+func (s *Server) Env() *simenv.Env { return s.env }
+
+// Running reports whether the server is up.
+func (s *Server) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// crash marks the server dead; callers return the FailureError describing
+// why. Must be called with s.mu held.
+func (s *Server) crash() { s.running = false }
+
+// Start binds the listening port and reopens every table's datafile
+// descriptor.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return errors.New("sqldb: already running")
+	}
+	if err := s.env.Net().BindPort(serverPort, Owner); err != nil {
+		return fmt.Errorf("sqldb: start: %w", err)
+	}
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.tables[name]
+		if !t.hasFD {
+			if err := s.openTableFD(t); err != nil {
+				_ = s.env.Net().ReleasePort(serverPort)
+				s.closeTableFDsLocked()
+				return err
+			}
+		}
+	}
+	s.running = true
+	return nil
+}
+
+func (s *Server) closeTableFDsLocked() {
+	for _, t := range s.tables {
+		if t.hasFD {
+			_ = s.env.FDs().Close(t.fd)
+			t.hasFD = false
+		}
+	}
+}
+
+// Stop shuts the server down and releases its environment resources.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return
+	}
+	s.running = false
+	_ = s.env.Net().ReleasePort(serverPort)
+	s.closeTableFDsLocked()
+	s.connections = make(map[int]string)
+	s.lockedTable = ""
+}
+
+// Connect opens a client session from the given address. With the
+// reverse-DNS bug active, a client whose address has no PTR record kills the
+// server; with the login/admin race active, a login that interleaves with a
+// privilege reload the wrong way does the same.
+func (s *Server) Connect(clientAddr string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return 0, errors.New("sqldb: not running")
+	}
+	if s.faults.Enabled(MechNoReverseDNS) {
+		if _, err := s.env.DNS().Reverse(clientAddr); err != nil {
+			if errors.Is(err, simenv.ErrNoReverseDNS) {
+				s.crash()
+				return 0, faultinject.FailCause(MechNoReverseDNS, taxonomy.SymptomCrash,
+					"host-cache insert with a NULL hostname", err)
+			}
+			return 0, fmt.Errorf("sqldb: connect: %w", err)
+		}
+	}
+	if s.faults.Enabled(MechLoginAdminRace) && s.pendingGrants > 0 {
+		if s.env.Sched().RaceFires(MechLoginAdminRace, 3) {
+			s.crash()
+			return 0, faultinject.Fail(MechLoginAdminRace, taxonomy.SymptomCrash,
+				"login read the privilege table mid-reload")
+		}
+	}
+	id := s.nextConn
+	s.nextConn++
+	s.connections[id] = clientAddr
+	return id, nil
+}
+
+// Disconnect closes a client session.
+func (s *Server) Disconnect(conn int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.connections, conn)
+}
+
+// Connections returns the number of open sessions.
+func (s *Server) Connections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.connections)
+}
+
+// Queries returns the number of statements executed.
+func (s *Server) Queries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Exec parses and executes one SQL statement. Failures from seeded bugs are
+// *faultinject.FailureError values; other errors are ordinary statement
+// errors (bad SQL, unknown tables) that leave the server healthy.
+func (s *Server) Exec(sql string) (*ResultSet, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return nil, errors.New("sqldb: not running")
+	}
+	s.queries++
+	// The signal-mask race: under connection churn a signal can arrive in
+	// the window where the worker unmasked it; the wrong interleaving kills
+	// the server regardless of the statement being executed.
+	if s.faults.Enabled(MechSignalMaskRace) {
+		if s.env.Sched().RaceFires(MechSignalMaskRace, 3) {
+			s.crash()
+			return nil, faultinject.Fail(MechSignalMaskRace, taxonomy.SymptomCrash,
+				"signal arrived inside the unmask window")
+		}
+	}
+	// Template-class environment-independent bugs live on the defect paths
+	// exercised by queries against their trigger tables.
+	if key := genericBugKey(st.Table); key != "" && s.faults.Enabled(key) && st.Kind != StmtCreateTable {
+		switch key {
+		case MechExecLoop:
+			s.crash()
+			return nil, faultinject.Fail(key, taxonomy.SymptomHang,
+				"executor re-enqueues the same work item forever")
+		case MechStaleBuffer:
+			return nil, faultinject.Fail(key, taxonomy.SymptomError,
+				"rows from the previous query leaked into the result")
+		default:
+			s.crash()
+			return nil, faultinject.Fail(key, taxonomy.SymptomCrash,
+				"deterministic crash on the defect path")
+		}
+	}
+	return s.execStmt(st)
+}
+
+// flushPrivileges applies pending grants; part of the login/admin race
+// staging.
+func (s *Server) flushPrivileges() error {
+	s.pendingGrants = 0
+	return nil
+}
+
+// dbState is the wire form of the server's logical state.
+type dbState struct {
+	Tables        []tableState `json:"tables"`
+	LockedTable   string       `json:"lockedTable"`
+	Queries       int64        `json:"queries"`
+	PendingGrants int          `json:"pendingGrants"`
+}
+
+type tableState struct {
+	Name    string    `json:"name"`
+	Cols    []ColDef  `json:"cols"`
+	Rows    [][]Value `json:"rows"` // nil rows elided via Deleted
+	Deleted []int     `json:"deleted"`
+	Indexes []string  `json:"indexes"`
+}
+
+// Snapshot captures the server's complete logical state: schemas, rows,
+// index definitions, locks, and the pending-grant count. Connections are
+// sessions, not state — a failover drops them.
+func (s *Server) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := dbState{
+		LockedTable:   s.lockedTable,
+		Queries:       s.queries,
+		PendingGrants: s.pendingGrants,
+	}
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.tables[name]
+		ts := tableState{Name: t.name, Cols: append([]ColDef(nil), t.cols...)}
+		for rowID, row := range t.rows {
+			if row == nil {
+				ts.Deleted = append(ts.Deleted, rowID)
+				ts.Rows = append(ts.Rows, []Value{})
+				continue
+			}
+			ts.Rows = append(ts.Rows, append([]Value(nil), row...))
+		}
+		for col := range t.indexes {
+			ts.Indexes = append(ts.Indexes, col)
+		}
+		sort.Strings(ts.Indexes)
+		st.Tables = append(st.Tables, ts)
+	}
+	return json.Marshal(st)
+}
+
+// Restore replaces the server's logical state from a snapshot and restarts
+// it, re-acquiring the port, every table descriptor, and the disk footprint
+// the state mandates. The server must be stopped.
+func (s *Server) Restore(snapshot []byte) error {
+	var st dbState
+	if err := json.Unmarshal(snapshot, &st); err != nil {
+		return fmt.Errorf("sqldb: restore: %w", err)
+	}
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return errors.New("sqldb: restore while running")
+	}
+	// Release descriptors held by the dead instance before rebuilding.
+	s.closeTableFDsLocked()
+	s.tables = make(map[string]*table, len(st.Tables))
+	for _, ts := range st.Tables {
+		t := &table{name: ts.Name, cols: append([]ColDef(nil), ts.Cols...), indexes: make(map[string]*btree)}
+		deleted := make(map[int]bool, len(ts.Deleted))
+		for _, d := range ts.Deleted {
+			deleted[d] = true
+		}
+		for rowID, row := range ts.Rows {
+			if deleted[rowID] {
+				t.rows = append(t.rows, nil)
+				continue
+			}
+			t.rows = append(t.rows, append(Row(nil), row...))
+			t.live++
+		}
+		for _, col := range ts.Indexes {
+			ci, err := t.colIndex(col)
+			if err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			idx := newBTree()
+			for rowID, row := range t.rows {
+				if row != nil {
+					idx.Insert(row[ci], rowID)
+				}
+			}
+			t.indexes[col] = idx
+		}
+		// Restore the datafile footprint if the failover lost it.
+		want := int64(len(t.rows)) * rowBytes
+		have := int64(0)
+		if s.env.Disk().Exists(t.dataFile()) {
+			sz, err := s.env.Disk().Size(t.dataFile())
+			if err == nil {
+				have = sz
+			}
+		}
+		if want > have {
+			if err := s.env.Disk().Append(t.dataFile(), Owner, want-have); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("sqldb: restore datafile %q: %w", t.name, err)
+			}
+		}
+		s.tables[t.name] = t
+	}
+	s.lockedTable = st.LockedTable
+	s.queries = st.Queries
+	s.pendingGrants = st.PendingGrants
+	s.connections = make(map[int]string)
+	s.mu.Unlock()
+	return s.Start()
+}
+
+// Reset reinitializes the server to an empty database — application-specific
+// recovery that discards all state. The server must be stopped.
+func (s *Server) Reset() error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return errors.New("sqldb: reset while running")
+	}
+	s.closeTableFDsLocked()
+	for _, t := range s.tables {
+		if s.env.Disk().Exists(t.dataFile()) {
+			_ = s.env.Disk().Remove(t.dataFile())
+		}
+	}
+	s.tables = make(map[string]*table)
+	s.lockedTable = ""
+	s.queries = 0
+	s.pendingGrants = 0
+	s.connections = make(map[int]string)
+	s.mu.Unlock()
+	return s.Start()
+}

@@ -1,0 +1,207 @@
+package bugsite
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"faultstudy/internal/corpus"
+	"faultstudy/internal/taxonomy"
+)
+
+// apacheSeverityName renders a taxonomy severity in GNATS spelling.
+func apacheSeverityName(s taxonomy.Severity) string {
+	switch s {
+	case taxonomy.SeverityCritical:
+		return "critical"
+	case taxonomy.SeveritySerious:
+		return "serious"
+	case taxonomy.SeverityMinor:
+		return "non-critical"
+	case taxonomy.SeverityWishlist:
+		return "change-request"
+	default:
+		return "non-critical"
+	}
+}
+
+// gnatsPR renders one GNATS problem report.
+func gnatsPR(number int, category, synopsis, severity, class, release, env, desc, howto, fix string, arrival time.Time, audit []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ">Number:         %d\n", number)
+	fmt.Fprintf(&b, ">Category:       %s\n", category)
+	fmt.Fprintf(&b, ">Synopsis:       %s\n", synopsis)
+	b.WriteString(">Confidential:   no\n")
+	fmt.Fprintf(&b, ">Severity:       %s\n", severity)
+	b.WriteString(">Priority:       medium\n>Responsible:    apache\n>State:          closed\n")
+	fmt.Fprintf(&b, ">Class:          %s\n", class)
+	b.WriteString(">Submitter-Id:   apache\n")
+	fmt.Fprintf(&b, ">Arrival-Date:   %s\n", arrival.Format("Mon Jan 2 15:04:05 MST 2006"))
+	b.WriteString(">Originator:     user@example.com\n>Organization:\n")
+	fmt.Fprintf(&b, ">Release:        %s\n", release)
+	fmt.Fprintf(&b, ">Environment:\n%s\n", env)
+	fmt.Fprintf(&b, ">Description:\n%s\n", desc)
+	fmt.Fprintf(&b, ">How-To-Repeat:\n%s\n", howto)
+	fix = strings.TrimSpace(fix)
+	if fix == "" {
+		fix = "unknown"
+	}
+	fmt.Fprintf(&b, ">Fix:\n%s\n", fix)
+	b.WriteString(">Audit-Trail:\n")
+	for i, comment := range audit {
+		fmt.Fprintf(&b, "Comment-Added-By: dev%d\nComment-Added-When: %s\nComment-Added:\n%s\n",
+			i+1, arrival.AddDate(0, 0, i+2).Format("Mon Jan 2 15:04:05 MST 2006"), comment)
+	}
+	b.WriteString(">Unformatted:\n")
+	return b.String()
+}
+
+// ApachePRs generates the raw GNATS problem reports of the simulated Apache
+// tracker: one canonical PR per corpus fault, duplicate PRs per the
+// configured rate, and noise PRs that fail the study's inclusion bar.
+// The returned map is PR number -> report text.
+func ApachePRs(cfg Config) map[int]string {
+	cfg = cfg.withDefaults(220)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prs := make(map[int]string)
+	next := 1001
+
+	for _, f := range faultsSorted(corpus.Apache()) {
+		env := "Generic Unix, gcc"
+		audit := []string{"Confirmed by the maintainer.", "Fix committed; see the next release."}
+		prs[next] = gnatsPR(next, f.Component, f.Synopsis,
+			apacheSeverityName(f.Severity), "sw-bug", f.Release, env,
+			f.Description, f.HowToRepeat, f.Fix, f.Filed, audit)
+		next++
+		for d := 0; d < dupCount(rng, cfg.DuplicateRate); d++ {
+			filed := f.Filed.AddDate(0, 0, 7*(d+1)+rng.Intn(5))
+			prs[next] = gnatsPR(next, f.Component, f.Synopsis,
+				apacheSeverityName(f.Severity), "sw-bug", f.Release, env,
+				dupText(rng, f.Description+"\n"+f.HowToRepeat),
+				"See above; identical to the earlier report.", "", filed, nil)
+			next++
+		}
+	}
+
+	for i := 0; i < cfg.NoiseReports; i++ {
+		n := apacheNoise(rng, i)
+		prs[next] = gnatsPR(next, n.category, n.synopsis, n.severity, n.class,
+			n.release, "assorted", n.description, n.howto, "",
+			time.Date(1998, time.Month(1+i%12), 1+i%27, 9, 0, 0, 0, time.UTC), nil)
+		next++
+	}
+	return prs
+}
+
+type noiseReport struct {
+	category    string
+	synopsis    string
+	severity    string
+	class       string
+	release     string
+	description string
+	howto       string
+}
+
+// apacheNoise synthesizes one non-qualifying Apache PR: documentation bugs,
+// build problems, feature requests, mild misbehaviour, and serious reports
+// against beta releases — all of which the study's filter discards.
+func apacheNoise(rng *rand.Rand, i int) noiseReport {
+	kinds := []noiseReport{
+		{
+			category: "documentation", synopsis: "typo in the mod_rewrite guide",
+			severity: "non-critical", class: "doc-bug", release: "1.3.3",
+			description: "The RewriteCond example in the guide swaps the pattern and the test string.",
+			howto:       "Read the second example in the rewrite guide.",
+		},
+		{
+			category: "config", synopsis: "confusing warning about ServerName at startup",
+			severity: "non-critical", class: "sw-bug", release: "1.3.1",
+			description: "The warning wording is confusing when ServerName is derived from DNS; cosmetic only.",
+			howto:       "Start the server without ServerName set.",
+		},
+		{
+			category: "build", synopsis: "configure mis-detects pthreads on an old libc",
+			severity: "serious", class: "sw-bug", release: "1.3b6 beta",
+			description: "On a beta build, configure picks the wrong thread flags and the binary will not link.",
+			howto:       "Run configure on the beta tarball.",
+		},
+		{
+			category: "general", synopsis: "please add an option to colorize directory listings",
+			severity: "change-request", class: "change-request", release: "1.3.2",
+			description: "It would be nice if mod_autoindex could colorize listings by file type.",
+			howto:       "Feature request; nothing to repeat.",
+		},
+		{
+			category: "os-windows", synopsis: "installer leaves a stray shortcut on the desktop",
+			severity: "non-critical", class: "sw-bug", release: "1.3.4",
+			description: "After installation a duplicate shortcut appears; harmless but untidy.",
+			howto:       "Run the installer with default options.",
+		},
+		{
+			category: "mod_cgi", synopsis: "slow cgi scripts make the status page boring",
+			severity: "non-critical", class: "mistaken", release: "1.3.0",
+			description: "Turned out to be our script taking forever; not a server problem after all.",
+			howto:       "n/a",
+		},
+	}
+	n := kinds[i%len(kinds)]
+	// Light per-report variation keeps noise from deduping to one record.
+	n.synopsis = fmt.Sprintf("%s (site %d)", n.synopsis, rng.Intn(1000))
+	n.description = fmt.Sprintf("%s Reported from host h%03d.example.com.", n.description, i)
+	return n
+}
+
+// NewApacheSite serves the simulated bugs.apache.org: a paged PR index and
+// one page per PR with the GNATS text in a <pre> block.
+func NewApacheSite(cfg Config) http.Handler {
+	prs := ApachePRs(cfg)
+	pages := make(serveIndexed, len(prs)+2)
+
+	numbers := make([]int, 0, len(prs))
+	for n := range prs {
+		numbers = append(numbers, n)
+	}
+	sort.Ints(numbers)
+
+	const perPage = 100
+	var indexLinks []string
+	for start := 0; start < len(numbers); start += perPage {
+		end := start + perPage
+		if end > len(numbers) {
+			end = len(numbers)
+		}
+		var b strings.Builder
+		b.WriteString("<h1>Apache Problem Report Database</h1>\n<ul>\n")
+		for _, n := range numbers[start:end] {
+			fmt.Fprintf(&b, `<li><a href="/bugdb/pr/%d">PR %d</a></li>`+"\n", n, n)
+		}
+		b.WriteString("</ul>\n")
+		path := fmt.Sprintf("/bugdb/index/%d", start/perPage+1)
+		if start == 0 {
+			path = "/bugdb/"
+		}
+		pages[path] = "" // placeholder; links appended below
+		indexLinks = append(indexLinks, path)
+		pages[path] = b.String()
+	}
+	// Chain index pages together.
+	for i, path := range indexLinks {
+		var nav strings.Builder
+		nav.WriteString(pages[path])
+		if i+1 < len(indexLinks) {
+			fmt.Fprintf(&nav, `<p><a href="%s">next page</a></p>`+"\n", indexLinks[i+1])
+		}
+		pages[path] = htmlPage("Apache bug database", nav.String())
+	}
+
+	for n, text := range prs {
+		pages[fmt.Sprintf("/bugdb/pr/%d", n)] = htmlPage(
+			fmt.Sprintf("PR %d", n),
+			fmt.Sprintf("<h1>Problem Report %d</h1>\n%s", n, preBlock(text)))
+	}
+	return pages
+}

@@ -1,0 +1,313 @@
+package bugsite
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"faultstudy/internal/corpus"
+	"faultstudy/internal/debbugs"
+	"faultstudy/internal/gnats"
+	"faultstudy/internal/mbox"
+	"faultstudy/internal/scrape"
+)
+
+func TestApachePRsDeterministic(t *testing.T) {
+	a := ApachePRs(Config{Seed: 7})
+	b := ApachePRs(Config{Seed: 7})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for n, text := range a {
+		if b[n] != text {
+			t.Fatalf("PR %d differs between runs", n)
+		}
+	}
+	c := ApachePRs(Config{Seed: 8})
+	if len(c) == len(a) {
+		same := true
+		for n, text := range a {
+			if c[n] != text {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical sites")
+		}
+	}
+}
+
+func TestApachePRsParseAndContainCanonicals(t *testing.T) {
+	prs := ApachePRs(Config{Seed: 1})
+	if len(prs) < 50+220 {
+		t.Fatalf("site has %d PRs, want >= 270", len(prs))
+	}
+	qualifying := 0
+	for n, text := range prs {
+		pr, err := gnats.Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("PR %d does not parse: %v", n, err)
+		}
+		r, err := pr.ToReport()
+		if err != nil {
+			t.Fatalf("PR %d does not convert: %v", n, err)
+		}
+		if r.Qualifies() {
+			qualifying++
+		}
+	}
+	// Canonicals plus their duplicates qualify; noise must not.
+	if qualifying < 50 {
+		t.Errorf("only %d qualifying PRs, want >= 50", qualifying)
+	}
+	if qualifying > 50*3 {
+		t.Errorf("%d qualifying PRs; noise is leaking through the filter", qualifying)
+	}
+}
+
+func TestApacheNoiseNeverQualifies(t *testing.T) {
+	// Generate a site with zero noise and one with noise; the difference in
+	// qualifying counts must be zero.
+	base := ApachePRs(Config{Seed: 3, NoiseReports: -1})
+	noisy := ApachePRs(Config{Seed: 3, NoiseReports: 60})
+	count := func(m map[int]string) int {
+		q := 0
+		for _, text := range m {
+			pr, err := gnats.Parse(strings.NewReader(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := pr.ToReport()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Qualifies() {
+				q++
+			}
+		}
+		return q
+	}
+	if a, b := count(base), count(noisy); a != b {
+		t.Errorf("noise changed qualifying count: %d -> %d", a, b)
+	}
+}
+
+func TestGnomeBugsParse(t *testing.T) {
+	bugs, cvsLog := GnomeBugs(Config{Seed: 1})
+	if len(bugs) < 45+320 {
+		t.Fatalf("site has %d bugs, want >= 365", len(bugs))
+	}
+	for n, text := range bugs {
+		if _, err := debbugs.Parse(strings.NewReader(text)); err != nil {
+			t.Fatalf("bug %d does not parse: %v", n, err)
+		}
+	}
+	commits, err := debbugs.ParseCVSLog(strings.NewReader(cvsLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBug := 0
+	for _, c := range commits {
+		if c.BugNumber > 0 {
+			withBug++
+		}
+	}
+	// The 39 environment-independent GNOME faults carry fix descriptions and
+	// hence CVS commits; the env-dependent ones were never "fixed" in code.
+	if withBug != 39 {
+		t.Errorf("%d CVS commits reference bugs; want 39", withBug)
+	}
+}
+
+func TestMySQLArchiveParsesAndThreads(t *testing.T) {
+	archive := MySQLArchive(Config{Seed: 1})
+	if len(archive) < 6 {
+		t.Fatalf("archive spans %d months, want >= 6", len(archive))
+	}
+	var msgs []*mbox.Message
+	for month, content := range archive {
+		ms, err := mbox.Parse(strings.NewReader(content))
+		if err != nil {
+			t.Fatalf("month %s does not parse: %v", month, err)
+		}
+		msgs = append(msgs, ms...)
+	}
+	if len(msgs) < 44*2+400 {
+		t.Fatalf("archive has %d messages, want >= 488", len(msgs))
+	}
+	threads := mbox.ThreadMessages(msgs)
+	serious := mbox.FilterThreads(threads, mbox.DefaultKeywords())
+	// At least the 44 canonical threads match keywords; duplicates add more.
+	if len(serious) < 44 {
+		t.Errorf("only %d keyword-matching threads, want >= 44", len(serious))
+	}
+	if len(serious) > 44*3 {
+		t.Errorf("%d keyword-matching threads; noise matches keywords", len(serious))
+	}
+}
+
+func TestMySQLNoiseAvoidsKeywords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		n := mysqlNoise(rng, i)
+		text := strings.ToLower(n.synopsis + " " + n.description)
+		for _, k := range mbox.DefaultKeywords() {
+			if strings.Contains(text, k) {
+				t.Errorf("noise %d contains keyword %q: %s", i, k, text)
+			}
+		}
+	}
+}
+
+func TestApacheSiteServesAndCrawls(t *testing.T) {
+	srv := httptest.NewServer(NewApacheSite(Config{Seed: 1, NoiseReports: 30}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/bugdb/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	links := scrape.Links(string(body))
+	if len(links) == 0 {
+		t.Fatal("index has no links")
+	}
+	// Fetch the first PR page and round-trip the GNATS text through the
+	// scraper and parser.
+	var prLink string
+	for _, l := range links {
+		if strings.Contains(l, "/bugdb/pr/") {
+			prLink = l
+			break
+		}
+	}
+	if prLink == "" {
+		t.Fatal("no PR links on index")
+	}
+	resp, err = http.Get(srv.URL + prLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := scrape.Text(string(prBody))
+	start := strings.Index(text, ">Number:")
+	if start < 0 {
+		t.Fatalf("PR page text lacks GNATS fields:\n%s", text[:200])
+	}
+	pr, err := gnats.Parse(strings.NewReader(text[start:]))
+	if err != nil {
+		t.Fatalf("scraped PR does not parse: %v", err)
+	}
+	if pr.Number == 0 {
+		t.Error("scraped PR has no number")
+	}
+}
+
+func TestGnomeSiteServesCVSLog(t *testing.T) {
+	srv := httptest.NewServer(NewGnomeSite(Config{Seed: 1, NoiseReports: 10}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/cvs/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := scrape.Text(string(body))
+	commits, err := debbugs.ParseCVSLog(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(commits) == 0 {
+		t.Error("served CVS log has no commits")
+	}
+}
+
+func TestMySQLSiteServesMbox(t *testing.T) {
+	srv := httptest.NewServer(NewMySQLSite(Config{Seed: 1, NoiseReports: 20}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/archive/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	links := scrape.Links(string(body))
+	if len(links) == 0 {
+		t.Fatal("archive index has no links")
+	}
+	resp, err = http.Get(srv.URL + links[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("mbox content type = %q", ct)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	msgs, err := mbox.Parse(strings.NewReader(string(mb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 0 {
+		t.Error("served mbox is empty")
+	}
+}
+
+func TestSiteNotFound(t *testing.T) {
+	srv := httptest.NewServer(NewApacheSite(Config{Seed: 1, NoiseReports: -1}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/definitely/not/here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCorpusCanonicalsAllPresent(t *testing.T) {
+	prs := ApachePRs(Config{Seed: 1, NoiseReports: -1, DuplicateRate: 0.0001})
+	joined := strings.Builder{}
+	for _, text := range prs {
+		joined.WriteString(text)
+	}
+	all := joined.String()
+	for _, f := range corpus.Apache() {
+		if !strings.Contains(all, f.Synopsis) {
+			t.Errorf("fault %s synopsis missing from the site", f.ID)
+		}
+	}
+}
+
+func TestGnomeAndMySQLSitesDeterministic(t *testing.T) {
+	ga, cvsA := GnomeBugs(Config{Seed: 6})
+	gb, cvsB := GnomeBugs(Config{Seed: 6})
+	if cvsA != cvsB || len(ga) != len(gb) {
+		t.Error("GNOME site not deterministic")
+	}
+	for n, text := range ga {
+		if gb[n] != text {
+			t.Fatalf("GNOME bug %d differs between runs", n)
+		}
+	}
+	ma := MySQLArchive(Config{Seed: 6})
+	mb := MySQLArchive(Config{Seed: 6})
+	if len(ma) != len(mb) {
+		t.Fatal("MySQL archive month sets differ")
+	}
+	for month, content := range ma {
+		if mb[month] != content {
+			t.Fatalf("MySQL month %s differs between runs", month)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package bugsite
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"faultstudy/internal/corpus"
+	"faultstudy/internal/taxonomy"
+)
+
+// gnomeSeverityName renders a taxonomy severity in debbugs spelling.
+func gnomeSeverityName(s taxonomy.Severity) string {
+	switch s {
+	case taxonomy.SeverityCritical:
+		return "grave"
+	case taxonomy.SeveritySerious:
+		return "important"
+	case taxonomy.SeverityMinor:
+		return "minor"
+	case taxonomy.SeverityWishlist:
+		return "wishlist"
+	default:
+		return "normal"
+	}
+}
+
+// debbugsLog renders one debbugs bug log.
+func debbugsLog(number int, pkg, severity, version, subject, body string, filed time.Time, followUps []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bug: #%d\n", number)
+	fmt.Fprintf(&b, "Package: %s\n", pkg)
+	fmt.Fprintf(&b, "Severity: %s\n", severity)
+	if version != "" {
+		fmt.Fprintf(&b, "Version: %s\n", version)
+	}
+	fmt.Fprintf(&b, "Subject: %s\n", subject)
+	fmt.Fprintf(&b, "Date: %s\n", filed.Format(time.RFC1123Z))
+	b.WriteString("\n")
+	b.WriteString(body)
+	b.WriteString("\n")
+	for i, f := range followUps {
+		fmt.Fprintf(&b, "\nMessage #%d\n%s\n", i+2, f)
+	}
+	return b.String()
+}
+
+// GnomeBugs generates the simulated bugs.gnome.org logs plus the matching
+// cvs.gnome.org fix log. The returned map is bug number -> log text.
+func GnomeBugs(cfg Config) (bugs map[int]string, cvsLog string) {
+	cfg = cfg.withDefaults(320)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	bugs = make(map[int]string)
+	next := 101
+
+	var cvs strings.Builder
+	for _, f := range faultsSorted(corpus.Gnome()) {
+		followUps := []string{
+			"Reproduced here, raising severity.",
+			fmt.Sprintf("Fixed in CVS. %s", f.Fix),
+		}
+		if f.Fix == "" {
+			followUps = followUps[:1]
+		}
+		body := f.Description + "\n\nHow to reproduce:\n" + f.HowToRepeat
+		bugs[next] = debbugsLog(next, f.Component, gnomeSeverityName(f.Severity),
+			f.Release, f.Synopsis, body, f.Filed, followUps)
+		if f.Fix != "" {
+			fmt.Fprintf(&cvs, "RCS file: /cvs/gnome/%s/%s.c,v\n----------------------------\nrevision 1.%d\ndate: %s;  author: dev;\nFixes bug #%d: %s\n----------------------------\n",
+				f.Component, strings.ReplaceAll(f.Component, "-", "_"),
+				10+next%80, f.Filed.AddDate(0, 0, 10).Format("2006/01/02 15:04:05"), next, f.Fix)
+		}
+		next++
+		for d := 0; d < dupCount(rng, cfg.DuplicateRate); d++ {
+			filed := f.Filed.AddDate(0, 0, 5*(d+1)+rng.Intn(6))
+			bugs[next] = debbugsLog(next, f.Component, gnomeSeverityName(f.Severity),
+				f.Release, f.Synopsis,
+				dupText(rng, f.Description+"\n"+f.HowToRepeat), filed, nil)
+			next++
+		}
+	}
+
+	for i := 0; i < cfg.NoiseReports; i++ {
+		n := gnomeNoise(rng, i)
+		bugs[next] = debbugsLog(next, n.category, n.severity, n.release,
+			n.synopsis, n.description+"\n"+n.howto,
+			time.Date(1999, time.Month(1+i%12), 1+i%27, 15, 0, 0, 0, time.UTC), nil)
+		next++
+	}
+	return bugs, cvs.String()
+}
+
+// gnomeNoise synthesizes one non-qualifying GNOME report.
+func gnomeNoise(rng *rand.Rand, i int) noiseReport {
+	kinds := []noiseReport{
+		{
+			category: "panel", synopsis: "clock applet should support 24-hour format per locale",
+			severity: "wishlist", release: "1.0",
+			description: "It would be nice if the clock followed the locale's hour format automatically.",
+			howto:       "Feature request.",
+		},
+		{
+			category: "gnumeric", synopsis: "column width slightly off after csv import",
+			severity: "minor", release: "1.0",
+			description: "Imported columns are a few pixels narrower than expected; purely cosmetic.",
+			howto:       "Import any csv and compare widths.",
+		},
+		{
+			category: "gmc", synopsis: "icon label wraps awkwardly for very long filenames",
+			severity: "minor", release: "1.0",
+			description: "Long names wrap mid-word in icon view. Cosmetic.",
+			howto:       "Create a file with a 60-character name.",
+		},
+		{
+			category: "gnome-pim", synopsis: "calendar prints with wide margins",
+			severity: "normal", release: "1.0",
+			description: "Printed month views waste paper with 2-inch margins.",
+			howto:       "Print any month view.",
+		},
+		{
+			category: "gnome-core", synopsis: "session manager forgets window positions on cvs build",
+			severity: "grave", release: "1.0.50-cvs",
+			description: "On a CVS snapshot the session manager restores every window at 0,0.",
+			howto:       "Log out and back in on a cvs build.",
+		},
+		{
+			category: "docs", synopsis: "help browser shows stale screenshots",
+			severity: "normal", release: "1.0",
+			description: "The user guide screenshots are from an older theme.",
+			howto:       "Open any help chapter.",
+		},
+	}
+	n := kinds[i%len(kinds)]
+	n.synopsis = fmt.Sprintf("%s (report %d)", n.synopsis, rng.Intn(1000))
+	n.description = fmt.Sprintf("%s Seen by user u%03d.", n.description, i)
+	return n
+}
+
+// NewGnomeSite serves the simulated bugs.gnome.org plus cvs.gnome.org: a
+// paged bug index, one page per bug log, and the CVS fix log.
+func NewGnomeSite(cfg Config) http.Handler {
+	bugs, cvsLog := GnomeBugs(cfg)
+	pages := make(serveIndexed, len(bugs)+3)
+
+	numbers := make([]int, 0, len(bugs))
+	for n := range bugs {
+		numbers = append(numbers, n)
+	}
+	sort.Ints(numbers)
+
+	const perPage = 100
+	var indexLinks []string
+	for start := 0; start < len(numbers); start += perPage {
+		end := start + perPage
+		if end > len(numbers) {
+			end = len(numbers)
+		}
+		var b strings.Builder
+		b.WriteString("<h1>GNOME Bug Tracking System</h1>\n<ul>\n")
+		for _, n := range numbers[start:end] {
+			fmt.Fprintf(&b, `<li><a href="/bugs/%d">Bug #%d</a></li>`+"\n", n, n)
+		}
+		b.WriteString("</ul>\n")
+		fmt.Fprintf(&b, `<p><a href="/cvs/log">CVS fix log</a></p>`+"\n")
+		path := fmt.Sprintf("/bugs/index/%d", start/perPage+1)
+		if start == 0 {
+			path = "/bugs/"
+		}
+		indexLinks = append(indexLinks, path)
+		pages[path] = b.String()
+	}
+	for i, path := range indexLinks {
+		var nav strings.Builder
+		nav.WriteString(pages[path])
+		if i+1 < len(indexLinks) {
+			fmt.Fprintf(&nav, `<p><a href="%s">next page</a></p>`+"\n", indexLinks[i+1])
+		}
+		pages[path] = htmlPage("GNOME bugs", nav.String())
+	}
+
+	for n, text := range bugs {
+		pages[fmt.Sprintf("/bugs/%d", n)] = htmlPage(
+			fmt.Sprintf("Bug #%d", n),
+			fmt.Sprintf("<h1>Bug #%d</h1>\n%s", n, preBlock(text)))
+	}
+	pages["/cvs/log"] = htmlPage("CVS log", preBlock(cvsLog))
+	return pages
+}

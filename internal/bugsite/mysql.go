@@ -1,0 +1,169 @@
+package bugsite
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"faultstudy/internal/corpus"
+)
+
+// mboxMessage renders one mbox-framed mail message.
+func mboxMessage(msgID, inReplyTo, from, subject string, date time.Time, body string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "From %s %s\n", from, date.Format("Mon Jan 2 15:04:05 2006"))
+	fmt.Fprintf(&b, "Message-Id: <%s>\n", msgID)
+	if inReplyTo != "" {
+		fmt.Fprintf(&b, "In-Reply-To: <%s>\n", inReplyTo)
+	}
+	fmt.Fprintf(&b, "From: %s\n", from)
+	fmt.Fprintf(&b, "Subject: %s\n", subject)
+	fmt.Fprintf(&b, "Date: %s\n", date.UTC().Format(time.RFC1123Z))
+	b.WriteString("\n")
+	// Escape body From_ lines per mbox convention.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "From ") {
+			b.WriteString(">")
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// MySQLArchive generates the simulated mysql mailing-list archive as monthly
+// mbox files: month key ("1999-03") -> mbox content. Each corpus fault
+// becomes a thread whose root carries the report and whose replies confirm
+// and describe the fix; duplicate threads re-report the same fault under a
+// different subject; noise threads are ordinary list traffic that matches
+// none of the study's keywords.
+func MySQLArchive(cfg Config) map[string]string {
+	cfg = cfg.withDefaults(400)
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	months := make(map[string]*strings.Builder)
+	add := func(date time.Time, msg string) {
+		key := date.UTC().Format("2006-01")
+		if months[key] == nil {
+			months[key] = &strings.Builder{}
+		}
+		months[key].WriteString(msg)
+	}
+
+	serial := 0
+	nextID := func() string {
+		serial++
+		return fmt.Sprintf("msg%05d@lists.mysql.example", serial)
+	}
+
+	for _, f := range faultsSorted(corpus.MySQL()) {
+		rootID := nextID()
+		subject := f.Synopsis
+		body := f.Description + "\n\nHow-To-Repeat: " + f.HowToRepeat +
+			"\nServer version: " + f.Release
+		add(f.Filed, mboxMessage(rootID, "", "reporter@example.com", subject, f.Filed, body))
+
+		confirmID := nextID()
+		add(f.Filed.AddDate(0, 0, 1), mboxMessage(confirmID, rootID, "another@example.org",
+			"Re: "+subject, f.Filed.AddDate(0, 0, 1),
+			"Same here -- it died on "+f.Release+" as well."))
+		if f.Fix != "" {
+			fixID := nextID()
+			add(f.Filed.AddDate(0, 0, 3), mboxMessage(fixID, rootID, "monty@mysql.example",
+				"Re: "+subject, f.Filed.AddDate(0, 0, 3),
+				"Thanks for the report. Fixed for the next release: "+f.Fix))
+		}
+
+		for d := 0; d < dupCount(rng, cfg.DuplicateRate); d++ {
+			filed := f.Filed.AddDate(0, 0, 10*(d+1)+rng.Intn(8))
+			dupID := nextID()
+			// A re-report under its own subject: a new thread the dedup
+			// stage must merge with the original.
+			add(filed, mboxMessage(dupID, "", fmt.Sprintf("user%d@example.net", rng.Intn(900)),
+				"problem with "+f.Component+" — "+f.Synopsis, filed,
+				dupText(rng, f.Description+"\n"+f.HowToRepeat)))
+		}
+	}
+
+	for i := 0; i < cfg.NoiseReports; i++ {
+		n := mysqlNoise(rng, i)
+		date := time.Date(1999, time.Month(1+i%12), 1+i%27, 8+i%10, 0, 0, 0, time.UTC)
+		rootID := nextID()
+		add(date, mboxMessage(rootID, "", fmt.Sprintf("list%d@example.com", i), n.synopsis, date, n.description))
+		if i%3 == 0 {
+			reply := nextID()
+			add(date.AddDate(0, 0, 1), mboxMessage(reply, rootID, "helper@example.org",
+				"Re: "+n.synopsis, date.AddDate(0, 0, 1), "See the manual section on that topic."))
+		}
+	}
+
+	out := make(map[string]string, len(months))
+	for k, b := range months {
+		out[k] = b.String()
+	}
+	return out
+}
+
+// mysqlNoise synthesizes ordinary list traffic that matches none of the
+// study's keywords (crash, segmentation, race, died).
+func mysqlNoise(rng *rand.Rand, i int) noiseReport {
+	kinds := []noiseReport{
+		{
+			synopsis:    "how do I grant select on a single table?",
+			description: "New to the access system; which statement limits a user to one table?",
+		},
+		{
+			synopsis:    "speed of big joins on 3.22",
+			description: "Joins over five tables take minutes. Any indexing tips? Everything completes, just slowly.",
+		},
+		{
+			synopsis:    "ANNOUNCE: web front end for table browsing",
+			description: "I wrote a small cgi that browses tables. URL inside.",
+		},
+		{
+			synopsis:    "replication howto?",
+			description: "Is there a supported way to mirror a database to a second machine?",
+		},
+		{
+			synopsis:    "timestamp column default behaviour",
+			description: "Why does the first timestamp column update itself on every write? Is that intended?",
+		},
+		{
+			synopsis:    "ODBC driver configuration on NT",
+			description: "Which DSN options are required for the 3.22 driver on NT?",
+		},
+	}
+	n := kinds[i%len(kinds)]
+	n.synopsis = fmt.Sprintf("%s (q%d)", n.synopsis, rng.Intn(1000))
+	n.description = fmt.Sprintf("%s -- asked by subscriber %03d.", n.description, i)
+	return n
+}
+
+// NewMySQLSite serves the simulated list archive: an index page linking to
+// one mbox file per month.
+func NewMySQLSite(cfg Config) http.Handler {
+	archive := MySQLArchive(cfg)
+	pages := make(serveIndexed, len(archive)+1)
+
+	monthKeys := make([]string, 0, len(archive))
+	for k := range archive {
+		monthKeys = append(monthKeys, k)
+	}
+	sort.Strings(monthKeys)
+
+	var b strings.Builder
+	b.WriteString("<h1>mysql mailing list archive</h1>\n<ul>\n")
+	for _, k := range monthKeys {
+		fmt.Fprintf(&b, `<li><a href="/archive/%s.mbox">%s</a></li>`+"\n", k, k)
+	}
+	b.WriteString("</ul>\n")
+	pages["/archive/"] = htmlPage("mysql list archive", b.String())
+
+	for k, content := range archive {
+		pages["/archive/"+k+".mbox"] = content
+	}
+	return pages
+}

@@ -1,0 +1,45 @@
+package classify
+
+import (
+	"testing"
+
+	"faultstudy/internal/corpus"
+	"faultstudy/internal/report"
+)
+
+func BenchmarkClassifyOne(b *testing.B) {
+	c := New(Options{})
+	r := corpus.All()[0].Report()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Classify(r)
+	}
+}
+
+func BenchmarkClassifyCorpus(b *testing.B) {
+	c := New(Options{})
+	reports := make([]*report.Report, 0, 139)
+	for _, f := range corpus.All() {
+		reports = append(reports, f.Report())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reports {
+			_ = c.Classify(r)
+		}
+	}
+	b.ReportMetric(float64(len(reports)), "reports/iter")
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	c := New(Options{})
+	faults := corpus.All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm := Evaluate(c, faults)
+		if cm.Accuracy() != 1.0 {
+			b.Fatal("accuracy regression")
+		}
+	}
+}

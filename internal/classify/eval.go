@@ -1,0 +1,101 @@
+package classify
+
+import (
+	"fmt"
+	"strings"
+
+	"faultstudy/internal/corpus"
+	"faultstudy/internal/taxonomy"
+)
+
+// Confusion is a 3x3 confusion matrix of oracle class vs predicted class,
+// plus per-fault disagreements for inspection.
+type Confusion struct {
+	// Matrix[oracle][predicted] counts decisions.
+	Matrix map[taxonomy.FaultClass]map[taxonomy.FaultClass]int
+	// Total is the number of faults evaluated.
+	Total int
+	// Disagreements lists "id: oracle -> predicted" for every miss.
+	Disagreements []string
+	// TriggerHits counts exact trigger-kind agreement (stricter than class
+	// agreement).
+	TriggerHits int
+}
+
+// Evaluate runs the classifier over the corpus faults and scores it against
+// the oracle labels.
+func Evaluate(c *Classifier, faults []*corpus.Fault) *Confusion {
+	cm := &Confusion{Matrix: make(map[taxonomy.FaultClass]map[taxonomy.FaultClass]int)}
+	for _, f := range faults {
+		res := c.Classify(f.Report())
+		if cm.Matrix[f.Class] == nil {
+			cm.Matrix[f.Class] = make(map[taxonomy.FaultClass]int)
+		}
+		cm.Matrix[f.Class][res.Class]++
+		cm.Total++
+		if res.Class != f.Class {
+			cm.Disagreements = append(cm.Disagreements,
+				fmt.Sprintf("%s: %s -> %s (trigger %s, evidence %v)",
+					f.ID, f.Class.Short(), res.Class.Short(), res.Trigger, res.Evidence))
+		}
+		if res.Trigger == f.Trigger {
+			cm.TriggerHits++
+		}
+	}
+	return cm
+}
+
+// Accuracy returns the fraction of faults whose class was predicted
+// correctly.
+func (cm *Confusion) Accuracy() float64 {
+	if cm.Total == 0 {
+		return 0
+	}
+	hits := 0
+	for oracle, row := range cm.Matrix {
+		hits += row[oracle]
+	}
+	return float64(hits) / float64(cm.Total)
+}
+
+// TriggerAccuracy returns the fraction of faults whose exact trigger kind was
+// predicted.
+func (cm *Confusion) TriggerAccuracy() float64 {
+	if cm.Total == 0 {
+		return 0
+	}
+	return float64(cm.TriggerHits) / float64(cm.Total)
+}
+
+// PredictedCounts returns the predicted per-class totals (the row a pipeline
+// run would put in the paper's tables).
+func (cm *Confusion) PredictedCounts() map[taxonomy.FaultClass]int {
+	out := make(map[taxonomy.FaultClass]int, 3)
+	for _, row := range cm.Matrix {
+		for pred, n := range row {
+			out[pred] += n
+		}
+	}
+	return out
+}
+
+// String renders the matrix as an aligned table.
+func (cm *Confusion) String() string {
+	var b strings.Builder
+	classes := taxonomy.Classes()
+	fmt.Fprintf(&b, "%-38s", "oracle \\ predicted")
+	for _, p := range classes {
+		fmt.Fprintf(&b, "%6s", p.Short())
+	}
+	b.WriteByte('\n')
+	for _, o := range classes {
+		fmt.Fprintf(&b, "%-38s", o.String())
+		for _, p := range classes {
+			fmt.Fprintf(&b, "%6d", cm.Matrix[o][p])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "accuracy %.3f (%d faults), trigger accuracy %.3f\n",
+		cm.Accuracy(), cm.Total, cm.TriggerAccuracy())
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package classify
+
+import "faultstudy/internal/taxonomy"
+
+// phrase is one weighted lexicon cue. Phrases are matched as lowercase
+// substrings of the report text.
+type phrase struct {
+	text   string
+	weight float64
+}
+
+// triggerLexicon maps each environmental trigger kind to its cue phrases.
+// The phrases encode the study's §5 trigger descriptions: the classifier
+// reproduces the authors' judgment by recognizing the same conditions they
+// cite.
+var triggerLexicon = map[taxonomy.TriggerKind][]phrase{
+	taxonomy.TriggerResourceLeak: {
+		{"resource leak", 3},
+		{"resource it never returns", 3},
+		{"leaks a", 1.5},
+		{"accumulates", 1},
+		{"under sustained high load", 1.5},
+	},
+	taxonomy.TriggerFDExhaustion: {
+		{"file descriptors", 3},
+		{"file descriptor", 2.5},
+		{"out of descriptors", 3},
+		{"descriptor limit", 2},
+		{"descriptor shortage", 3},
+		{"runs out of file", 2},
+	},
+	taxonomy.TriggerDiskFull: {
+		{"full file system", 4},
+		{"file system full", 4},
+		{"disk full", 3.5},
+		{"disk cache", 2.5},
+		{"fill the partition", 2.5},
+		{"fills the partition", 2.5},
+		{"partition size", 1.5},
+		{"cannot store any more", 2},
+		{"no space left", 3},
+	},
+	taxonomy.TriggerFileSizeLimit: {
+		{"maximum allowed file size", 5},
+		{"maximum file size", 4},
+		{"file size limit", 3.5},
+		{"size limit, then", 2},
+		{"grows past the file", 2},
+	},
+	taxonomy.TriggerNetworkResource: {
+		{"pcmcia", 5},
+		{"network card", 3.5},
+		{"network resource", 3},
+		{"kernel network resource", 3},
+		{"kernel refuses new connections", 2},
+	},
+	taxonomy.TriggerHostConfig: {
+		{"reverse dns", 5},
+		{"ptr record", 4},
+		{"hostname", 3.5},
+		{"owner field", 4},
+		{"illegal value", 2},
+		{"out-of-range uid", 2},
+	},
+	taxonomy.TriggerDNSFailure: {
+		{"domain name service", 3},
+		{"dns server", 2.5},
+		{"dns lookup", 2.5},
+		{"slow dns", 3},
+		{"dns response", 2},
+		{"call to dns", 2.5},
+		{"dns returns an error", 3},
+	},
+	taxonomy.TriggerProcessTable: {
+		{"process table", 4},
+		{"hung child", 3},
+		{"child processes hang", 3},
+		{"children pile up", 2},
+		{"fork fails", 2},
+		{"listening port", 3},
+		{"holding the listening", 2},
+		{"hang onto required network ports", 4},
+		{"ports freed", 2},
+		{"ports will be freed", 2},
+		{"kills all processes", 1.5},
+	},
+	taxonomy.TriggerRequestTiming: {
+		{"presses stop", 4},
+		{"press stop", 3},
+		{"mid-download", 2.5},
+		{"midst of a page download", 3},
+		{"timing of the requested workload", 4},
+		{"at just the right moment", 2.5},
+		{"user's typing speed", 2},
+	},
+	taxonomy.TriggerRace: {
+		{"race condition", 4.5},
+		{"race between", 4},
+		{"thread scheduling", 2.5},
+		{"interleav", 2.5},
+		{"signal and its arrival", 3},
+		{"timing dependent", 2.5},
+		{"timing dependence", 2.5},
+		{"works on a retry", 3.5},
+		{"works on retry", 3.5},
+		{"succeeded on retry", 3.5},
+		{"not reliably reproducible", 3},
+		{"not reproducible", 2.5},
+		{"fails only sometimes", 2.5},
+		{"fails rarely", 2.5},
+		{"intermittent", 2},
+		{"hard to hit twice", 2},
+		{"could not pin down", 1.5},
+	},
+	taxonomy.TriggerSlowNetwork: {
+		{"slow network", 4},
+		{"network may be fixed", 2.5},
+		{"uplink is saturated", 2.5},
+		{"network is overloaded", 2},
+	},
+	taxonomy.TriggerEntropy: {
+		{"/dev/random", 5},
+		{"entropy", 3.5},
+		{"random numbers", 2.5},
+		{"ssl handshakes on a freshly booted", 1.5},
+	},
+}
+
+// deterministicLexicon holds the cues that a fault is workload-deterministic
+// — the reporters' "happens every time" language the study leaned on when a
+// report showed no environmental dependence.
+var deterministicLexicon = []phrase{
+	{"every time", 2},
+	{"everytime", 2},
+	{"each time", 1.5},
+	{"every attempt", 2},
+	{"every single time", 2.5},
+	{"deterministic", 2.5},
+	{"reliably", 1.5},
+	{"on every platform", 2},
+	{"on every machine", 2},
+	{"any platform", 1.5},
+	{"on any machine", 1.5},
+	{"on the first request", 1.5},
+	{"first statement", 1},
+	{"always", 1},
+	{"100% reproducible", 2.5},
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"faultstudy/internal/bugsite"
+	"faultstudy/internal/corpus"
+	"faultstudy/internal/mbox"
+	"faultstudy/internal/taxonomy"
+)
+
+// startSites serves all three simulated trackers and returns the study
+// sources.
+func startSites(t *testing.T, cfg bugsite.Config) Sources {
+	t.Helper()
+	apache := httptest.NewServer(bugsite.NewApacheSite(cfg))
+	t.Cleanup(apache.Close)
+	gnome := httptest.NewServer(bugsite.NewGnomeSite(cfg))
+	t.Cleanup(gnome.Close)
+	mysql := httptest.NewServer(bugsite.NewMySQLSite(cfg))
+	t.Cleanup(mysql.Close)
+	return Sources{ApacheBase: apache.URL, GnomeBase: gnome.URL, MySQLBase: mysql.URL}
+}
+
+// paperTables holds the oracle counts from the paper's Tables 1-3.
+var paperTables = map[taxonomy.Application]map[taxonomy.FaultClass]int{
+	taxonomy.AppApache: {
+		taxonomy.ClassEnvIndependent:           36,
+		taxonomy.ClassEnvDependentNonTransient: 7,
+		taxonomy.ClassEnvDependentTransient:    7,
+	},
+	taxonomy.AppGnome: {
+		taxonomy.ClassEnvIndependent:           39,
+		taxonomy.ClassEnvDependentNonTransient: 3,
+		taxonomy.ClassEnvDependentTransient:    3,
+	},
+	taxonomy.AppMySQL: {
+		taxonomy.ClassEnvIndependent:           38,
+		taxonomy.ClassEnvDependentNonTransient: 4,
+		taxonomy.ClassEnvDependentTransient:    2,
+	},
+}
+
+var paperUnique = map[taxonomy.Application]int{
+	taxonomy.AppApache: 50,
+	taxonomy.AppGnome:  45,
+	taxonomy.AppMySQL:  44,
+}
+
+func TestFullStudyReproducesPaperTables(t *testing.T) {
+	src := startSites(t, bugsite.Config{Seed: 1999})
+	res, err := Study(context.Background(), src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, want := range paperTables {
+		got := res.Apps[app]
+		if got == nil {
+			t.Fatalf("no result for %s", app)
+		}
+		if got.Unique != paperUnique[app] {
+			t.Errorf("%s: %d unique faults, paper says %d (raw %d, qualifying %d, dups %d)",
+				app, got.Unique, paperUnique[app], got.Raw, got.Qualifying, got.Duplicates)
+		}
+		for class, n := range want {
+			if got.Counts[class] != n {
+				t.Errorf("%s %s: %d, paper table says %d", app, class.Short(), got.Counts[class], n)
+			}
+		}
+		// For the trackers the inclusion bar discards noise; for the mailing
+		// list the keyword search already did, so raw == qualifying there.
+		if app != taxonomy.AppMySQL && got.Raw <= got.Qualifying {
+			t.Errorf("%s: filter removed nothing (raw %d, qualifying %d)", app, got.Raw, got.Qualifying)
+		}
+		if got.Duplicates == 0 {
+			t.Errorf("%s: dedup found no duplicates; the narrowing stage did no work", app)
+		}
+	}
+
+	counts, total := res.Totals()
+	if total != 139 {
+		t.Errorf("total unique faults = %d, want 139", total)
+	}
+	if counts[taxonomy.ClassEnvDependentNonTransient] != 14 {
+		t.Errorf("EDN total = %d, want 14", counts[taxonomy.ClassEnvDependentNonTransient])
+	}
+	if counts[taxonomy.ClassEnvDependentTransient] != 12 {
+		t.Errorf("EDT total = %d, want 12", counts[taxonomy.ClassEnvDependentTransient])
+	}
+}
+
+func TestStudyDeterministicAcrossRuns(t *testing.T) {
+	src := startSites(t, bugsite.Config{Seed: 7})
+	a, err := Study(context.Background(), src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Study(context.Background(), src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, ra := range a.Apps {
+		rb := b.Apps[app]
+		if ra.Unique != rb.Unique || ra.Qualifying != rb.Qualifying {
+			t.Errorf("%s: nondeterministic pipeline (%d/%d vs %d/%d)",
+				app, ra.Unique, ra.Qualifying, rb.Unique, rb.Qualifying)
+		}
+	}
+}
+
+func TestStudyRobustToSeedVariation(t *testing.T) {
+	// Different site seeds shuffle duplicates and noise but must not change
+	// the unique-fault tables.
+	for _, seed := range []int64{5, 2024} {
+		src := startSites(t, bugsite.Config{Seed: seed})
+		res, err := Study(context.Background(), src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for app, want := range paperUnique {
+			if got := res.Apps[app].Unique; got != want {
+				t.Errorf("seed %d %s: unique = %d, want %d", seed, app, got, want)
+			}
+		}
+	}
+}
+
+func TestAppResultTableRendering(t *testing.T) {
+	src := startSites(t, bugsite.Config{Seed: 3})
+	raw, err := MineApache(context.Background(), src.ApacheBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Classify(raw, Options{})
+	table := res.Table()
+	if table == "" {
+		t.Fatal("empty table rendering")
+	}
+	for _, want := range []string{"environment-independent", "apache"} {
+		if !contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestEveryCorpusFaultSurvivesMining(t *testing.T) {
+	// Each corpus fault must come back from the pipeline as a canonical
+	// classified report whose class matches the oracle.
+	src := startSites(t, bugsite.Config{Seed: 1999})
+	res, err := Study(context.Background(), src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range taxonomy.Applications() {
+		oracle := corpus.ByApp(app)
+		mined := res.Apps[app].Faults
+		for _, f := range oracle {
+			found := false
+			for _, c := range mined {
+				if c.Report.Synopsis == f.Synopsis ||
+					contains(c.Report.Text(), f.Synopsis) ||
+					contains(c.Report.Synopsis, f.Synopsis) {
+					found = true
+					if c.Result.Class != f.Class {
+						t.Errorf("%s mined as %s, oracle %s", f.ID, c.Result.Class.Short(), f.Class.Short())
+					}
+					break
+				}
+			}
+			if !found {
+				t.Errorf("fault %s (%q) missing from mined results", f.ID, f.Synopsis)
+			}
+		}
+	}
+}
+
+func TestThreadReportErrors(t *testing.T) {
+	if _, err := ThreadReport(&mbox.Thread{Subject: "empty"}); err == nil {
+		t.Error("empty thread should fail")
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
+}
+
+func TestClassifyEmptyInput(t *testing.T) {
+	res := Classify(nil, Options{})
+	if res.Raw != 0 || res.Unique != 0 || len(res.Faults) != 0 {
+		t.Errorf("empty input produced %+v", res)
+	}
+	if res.Table() == "" {
+		t.Error("empty result should still render")
+	}
+}

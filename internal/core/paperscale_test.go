@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"faultstudy/internal/bugsite"
+	"faultstudy/internal/taxonomy"
+)
+
+// TestPaperScaleNarrowing runs the pipeline at the paper's actual report
+// volumes — the Apache tracker at 5220 problem reports and a mailing-list
+// archive in the tens of thousands of messages — and checks the narrowing
+// still lands on exactly the paper's unique-fault counts. Skipped under
+// -short: it crawls thousands of pages.
+func TestPaperScaleNarrowing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale crawl; run without -short")
+	}
+
+	// Apache: 5220 total PRs as in the paper. The canonical + duplicate
+	// reports occupy ~125 of them; the rest is noise the inclusion bar must
+	// discard.
+	apacheCfg := bugsite.Config{Seed: 1999, NoiseReports: 5220 - 125}
+	gnomeCfg := bugsite.Config{Seed: 1999, NoiseReports: 500 - 112} // ~500 reports as in the paper
+	mysqlCfg := bugsite.Config{Seed: 1999, NoiseReports: 20000}     // tens of thousands of list messages
+
+	apache := newSiteServer(t, bugsite.NewApacheSite(apacheCfg))
+	gnome := newSiteServer(t, bugsite.NewGnomeSite(gnomeCfg))
+	mysql := newSiteServer(t, bugsite.NewMySQLSite(mysqlCfg))
+
+	ctx := context.Background()
+
+	apacheRaw, err := MineApache(ctx, apache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apacheRaw) < 5000 {
+		t.Fatalf("apache tracker served %d PRs, want ~5220", len(apacheRaw))
+	}
+	apacheRes := Classify(apacheRaw, Options{})
+	if apacheRes.Unique != 50 {
+		t.Errorf("apache: %d unique of %d raw, want 50 (qualifying %d, dups %d)",
+			apacheRes.Unique, apacheRes.Raw, apacheRes.Qualifying, apacheRes.Duplicates)
+	}
+	if apacheRes.Counts[taxonomy.ClassEnvIndependent] != 36 {
+		t.Errorf("apache EI = %d at paper scale", apacheRes.Counts[taxonomy.ClassEnvIndependent])
+	}
+
+	gnomeRaw, err := MineGnome(ctx, gnome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnomeRes := Classify(gnomeRaw, Options{})
+	if gnomeRes.Unique != 45 {
+		t.Errorf("gnome: %d unique of %d raw, want 45", gnomeRes.Unique, gnomeRes.Raw)
+	}
+
+	mysqlRaw, err := MineMySQL(ctx, mysql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mysqlRes := Classify(mysqlRaw, Options{})
+	if mysqlRes.Unique != 44 {
+		t.Errorf("mysql: %d unique of %d keyword threads, want 44", mysqlRes.Unique, mysqlRes.Raw)
+	}
+}
+
+func newSiteServer(t *testing.T, handler http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}

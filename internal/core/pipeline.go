@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"faultstudy/internal/classify"
+	"faultstudy/internal/dedup"
+	"faultstudy/internal/report"
+	"faultstudy/internal/taxonomy"
+)
+
+// Options tunes the study pipeline; the zero value is the paper
+// configuration.
+type Options struct {
+	// Dedup tunes the duplicate detector.
+	Dedup dedup.Options
+	// Classifier tunes the fault classifier.
+	Classifier classify.Options
+}
+
+// Classified pairs a canonical report with its classification.
+type Classified struct {
+	// Report is the canonical bug report.
+	Report *report.Report
+	// Result is the classifier's decision.
+	Result classify.Result
+}
+
+// AppResult is the study output for one application.
+type AppResult struct {
+	// App is the application.
+	App taxonomy.Application
+	// Raw is the number of reports mined before any filtering (for the
+	// mailing list: keyword-matching threads).
+	Raw int
+	// Qualifying is the count after the study's inclusion bar.
+	Qualifying int
+	// Duplicates is the number of qualifying reports marked as duplicates.
+	Duplicates int
+	// Unique is the number of canonical (unique) faults.
+	Unique int
+	// Counts tallies the unique faults per class — the paper's table row.
+	Counts map[taxonomy.FaultClass]int
+	// Faults holds the classified canonical reports.
+	Faults []Classified
+}
+
+// Table renders the result in the layout of the paper's Tables 1–3.
+func (r *AppResult) Table() string {
+	out := fmt.Sprintf("Classification of faults for %s (%d unique of %d reports):\n", r.App, r.Unique, r.Raw)
+	for _, c := range taxonomy.Classes() {
+		out += fmt.Sprintf("  %-36s %d\n", c.String(), r.Counts[c])
+	}
+	return out
+}
+
+// Classify runs the post-mining stages over raw reports: inclusion filter,
+// duplicate narrowing, and per-fault classification.
+func Classify(raw []*report.Report, opts Options) *AppResult {
+	res := &AppResult{Raw: len(raw), Counts: make(map[taxonomy.FaultClass]int, 3)}
+	if len(raw) > 0 {
+		res.App = raw[0].App
+	}
+
+	qualifying := report.FilterQualifying(raw)
+	res.Qualifying = len(qualifying)
+	sortReports(qualifying)
+
+	res.Duplicates = dedup.Mark(qualifying, opts.Dedup)
+	canonical := report.Canonical(qualifying)
+	res.Unique = len(canonical)
+
+	classifier := classify.New(opts.Classifier)
+	for _, r := range canonical {
+		decision := classifier.Classify(r)
+		res.Counts[decision.Class]++
+		res.Faults = append(res.Faults, Classified{Report: r, Result: decision})
+	}
+	return res
+}
+
+// StudyResult is the full three-application study.
+type StudyResult struct {
+	// Apps holds per-application results keyed by application.
+	Apps map[taxonomy.Application]*AppResult
+}
+
+// Totals aggregates the per-class counts across applications (the §5.4
+// discussion numbers).
+func (s *StudyResult) Totals() (counts map[taxonomy.FaultClass]int, total int) {
+	counts = make(map[taxonomy.FaultClass]int, 3)
+	for _, r := range s.Apps {
+		for c, n := range r.Counts {
+			counts[c] += n
+			total += n
+		}
+	}
+	return counts, total
+}
+
+// Sources names the tracker base URLs for a full study run.
+type Sources struct {
+	// ApacheBase serves the GNATS tracker under /bugdb/.
+	ApacheBase string
+	// GnomeBase serves the debbugs tracker under /bugs/ and the CVS log
+	// under /cvs/log.
+	GnomeBase string
+	// MySQLBase serves the mbox archive under /archive/.
+	MySQLBase string
+}
+
+// Study mines all three sources and runs the full pipeline over each — the
+// paper's methodology end to end.
+func Study(ctx context.Context, src Sources, opts Options) (*StudyResult, error) {
+	out := &StudyResult{Apps: make(map[taxonomy.Application]*AppResult, 3)}
+
+	apache, err := MineApache(ctx, src.ApacheBase)
+	if err != nil {
+		return nil, err
+	}
+	out.Apps[taxonomy.AppApache] = Classify(apache, opts)
+
+	gnome, err := MineGnome(ctx, src.GnomeBase)
+	if err != nil {
+		return nil, err
+	}
+	out.Apps[taxonomy.AppGnome] = Classify(gnome, opts)
+
+	mysql, err := MineMySQL(ctx, src.MySQLBase)
+	if err != nil {
+		return nil, err
+	}
+	out.Apps[taxonomy.AppMySQL] = Classify(mysql, opts)
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"faultstudy/internal/debbugs"
+	"faultstudy/internal/gnats"
+	"faultstudy/internal/mbox"
+)
+
+// TestMinerSkipsBrokenPages injects server-side failures into the tracker:
+// 500s and non-PR garbage pages must be skipped or surfaced cleanly, never
+// panic.
+func TestMinerSkipsBrokenPages(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/bugdb/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/bugdb/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `<a href="/bugdb/pr/1">one</a> <a href="/bugdb/pr/2">two</a> <a href="/bugdb/pr/3">three</a>`)
+	})
+	mux.HandleFunc("/bugdb/pr/1", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<pre>"+strings.ReplaceAll(`>Number:         1
+>Category:       general
+>Synopsis:       server crashes on demand
+>Severity:       critical
+>Class:          sw-bug
+>Release:        1.3.4
+>Environment:
+linux
+>Description:
+It crashes every time.
+>How-To-Repeat:
+Run it.
+>Fix:
+unknown
+`, ">", "&gt;")+"</pre>")
+	})
+	mux.HandleFunc("/bugdb/pr/2", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "database on fire", http.StatusInternalServerError)
+	})
+	mux.HandleFunc("/bugdb/pr/3", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<p>this page has no problem report on it at all</p>")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	reports, err := MineApache(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("mined %d reports, want 1 (only the valid page)", len(reports))
+	}
+	if reports[0].ID != "PR-1" {
+		t.Errorf("mined %s", reports[0].ID)
+	}
+}
+
+// TestMinerSurfacesUnreachableSite ensures connection failures become
+// errors, not empty results.
+func TestMinerSurfacesUnreachableSite(t *testing.T) {
+	if _, err := MineApache(context.Background(), "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable tracker should error")
+	}
+	if _, err := MineGnome(context.Background(), "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable tracker should error")
+	}
+	if _, err := MineMySQL(context.Background(), "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable archive should error")
+	}
+}
+
+// Property: the three parsers never panic on arbitrary small inputs — they
+// either parse or return an error.
+func TestParsersNeverPanicProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := string(raw)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("gnats.Parse panicked on %q: %v", s, r)
+				}
+			}()
+			_, _ = gnats.Parse(strings.NewReader(s))
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("debbugs.Parse panicked on %q: %v", s, r)
+				}
+			}()
+			_, _ = debbugs.Parse(strings.NewReader(s))
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mbox.Parse panicked on %q: %v", s, r)
+				}
+			}()
+			_, _ = mbox.Parse(strings.NewReader(s))
+		}()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefixing valid GNATS text with arbitrary junk lines does not
+// panic and the section parser still finds the number.
+func TestGnatsJunkToleranceProperty(t *testing.T) {
+	valid := `>Number: 7
+>Synopsis: something fails
+>Severity: critical
+>Release: 1.0
+>Description:
+body
+`
+	f := func(junk []byte) bool {
+		s := strings.ReplaceAll(string(junk), ">", " ") + "\n" + valid
+		pr, err := gnats.Parse(strings.NewReader(s))
+		return err == nil && pr.Number == 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,388 @@
+package corpus
+
+import (
+	"sync"
+
+	"faultstudy/internal/taxonomy"
+)
+
+var (
+	apacheOnce   sync.Once
+	apacheFaults []*Fault
+)
+
+// Apache returns the 50 classified Apache faults (Table 1: 36
+// environment-independent, 7 nontransient, 7 transient).
+func Apache() []*Fault {
+	apacheOnce.Do(func() {
+		apacheFaults = buildApache()
+		if err := validateSet(apacheFaults); err != nil {
+			panic(err)
+		}
+	})
+	return apacheFaults
+}
+
+func buildApache() []*Fault {
+	named := apacheNamed()
+	ei := filterClass(named, taxonomy.ClassEnvIndependent)
+	ei = append(ei, expandEI(
+		taxonomy.AppApache, "apache",
+		apacheEITemplates,
+		[]string{"mod_cgi", "mod_rewrite", "mod_include", "mod_proxy", "core", "mod_autoindex", "mod_mime", "mod_alias"},
+		[]string{
+			"a request with a duplicated Host header",
+			"a HEAD request for a CGI script",
+			"a request URI containing %2F escapes",
+			"an If-Modified-Since date in the year 2038",
+			"a Range header with reversed bounds",
+			"a proxied request through two ProxyPass rules",
+			"a .shtml file with a recursive include directive",
+			"a request for a directory whose name ends in two slashes",
+			"a POST with Content-Length larger than the body",
+			"a request with 200 cookies",
+		},
+		36-len(ei),
+	)...)
+	edn := filterClass(named, taxonomy.ClassEnvDependentNonTransient)
+	edt := filterClass(named, taxonomy.ClassEnvDependentTransient)
+
+	buckets := []releaseBucket{
+		{release: "1.2.6", date: date(1998, 3, 24), ei: 3, edn: 1, edt: 0},
+		{release: "1.3.0", date: date(1998, 6, 6), ei: 4, edn: 1, edt: 1},
+		{release: "1.3.1", date: date(1998, 7, 19), ei: 5, edn: 1, edt: 1},
+		{release: "1.3.2", date: date(1998, 9, 21), ei: 6, edn: 1, edt: 2},
+		{release: "1.3.3", date: date(1998, 10, 9), ei: 8, edn: 1, edt: 2},
+		{release: "1.3.4", date: date(1999, 1, 11), ei: 10, edn: 2, edt: 1},
+	}
+	assignSchedule(buckets, ei, edn, edt)
+
+	out := make([]*Fault, 0, 50)
+	out = append(out, ei...)
+	out = append(out, edn...)
+	out = append(out, edt...)
+	return out
+}
+
+// apacheNamed transcribes the faults the paper describes individually in
+// §5.1: five representative environment-independent bugs, the seven
+// nontransient triggers, and the seven transient triggers.
+func apacheNamed() []*Fault {
+	A := taxonomy.AppApache
+	return []*Fault{
+		// --- representative environment-independent faults ---
+		{
+			ID: "apache/ei-long-url", App: A,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "core",
+			Synopsis:  "httpd dies with a segfault when the submitted URL is very long",
+			Description: "The server child dies with a segmentation fault whenever a browser " +
+				"submits a very long URL. The problem is an overflow in the hash calculation " +
+				"used while processing the request URI.",
+			HowToRepeat: "Request a URL of several thousand characters against any host. " +
+				"Happens every time on every platform we tried.",
+			Fix:      "Bounds-check the hash calculation before indexing.",
+			Severity: taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "httpd/long-url-overflow",
+		},
+		{
+			ID: "apache/ei-sighup", App: A,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "core",
+			Synopsis:  "SIGHUP kills apache on Solaris and Unixware",
+			Description: "Sending SIGHUP, which should gracefully restart and rejuvenate the " +
+				"server, instead kills it outright on Solaris and Unixware.",
+			HowToRepeat: "kill -HUP the parent httpd on Solaris 2.6. The server exits instead " +
+				"of restarting, every time.",
+			Fix:      "Reinstall the signal handler before re-entering the accept loop.",
+			Severity: taxonomy.SeveritySerious, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "httpd/sighup-crash",
+		},
+		{
+			ID: "apache/ei-valist", App: A,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "core",
+			Synopsis:  "httpd dumps core on Linux/PPC if handed a nonexistent URL",
+			Description: "Requesting a URL that does not exist dumps core on Linux/PPC. " +
+				"ap_log_rerror() uses a va_list variable twice without an intervening " +
+				"va_end/va_start combination.",
+			HowToRepeat: "GET /no-such-file on a Linux/PPC build. Core dump on the first request.",
+			Fix:         "Add the missing va_end/va_start pair between the two uses.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "httpd/valist-reuse",
+		},
+		{
+			ID: "apache/ei-palloc-zero", App: A,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "mod_autoindex",
+			Synopsis:  "error when directory listing is on and the directory has zero entries",
+			Description: "With directory listing turned on, requesting a directory with zero " +
+				"entries fails: the palloc() call used in index_directory() doesn't handle " +
+				"size zero properly.",
+			HowToRepeat: "Enable Indexes, create an empty directory under the document root, " +
+				"and request it. Fails every time.",
+			Fix:      "Handle the zero-entry case before calling palloc().",
+			Severity: taxonomy.SeveritySerious, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "httpd/palloc-zero",
+		},
+		{
+			ID: "apache/ei-shm-leak", App: A,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "core",
+			Synopsis:  "shared memory segment grows past 100 MB; HUP then freezes or kills httpd",
+			Description: "The shared memory segment keeps growing and reaches sizes exceeding " +
+				"100 Mbytes in less than 5 hours of operation. When a HUP signal is sent to " +
+				"rotate logs, Apache freezes or dies. Caused by memory leaks in the application.",
+			HowToRepeat: "Serve a steady workload for a few hours, then send HUP to rotate logs. " +
+				"The leak accumulates on any machine; the HUP then reliably kills the server.",
+			Fix:      "Free the scoreboard allocations leaked on each request.",
+			Severity: taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "httpd/memory-leak-hup",
+		},
+
+		// --- environment-dependent-nontransient faults (7) ---
+		{
+			ID: "apache/edn-load-leak", App: A,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerResourceLeak,
+			Component: "core",
+			Synopsis:  "high load leads to an unknown resource leak and eventual failure",
+			Description: "Under sustained high load the server accumulates some resource it " +
+				"never returns and eventually fails. The leak is in application state, so a " +
+				"generic recovery mechanism that saves and restores all application state " +
+				"carries the leak across recovery.",
+			HowToRepeat: "Drive the server at peak load for several hours. Failure point varies " +
+				"with load but always arrives.",
+			Severity: taxonomy.SeveritySerious, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "httpd/load-resource-leak",
+		},
+		{
+			ID: "apache/edn-fd", App: A,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerFDExhaustion,
+			Component: "core",
+			Synopsis:  "httpd fails when the system runs out of file descriptors",
+			Description: "With many virtual hosts and log files the process exhausts its file " +
+				"descriptors and fails. A truly generic recovery mechanism recovers all " +
+				"application resources including the descriptors, so the condition persists.",
+			HowToRepeat: "Configure enough vhosts/log files to exceed the descriptor limit, " +
+				"then start the server.",
+			Severity: taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/fd-exhaustion",
+		},
+		{
+			ID: "apache/edn-disk-cache", App: A,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerDiskFull,
+			Component: "mod_proxy",
+			Synopsis:  "proxy disk cache fills and the server cannot store temporary files",
+			Description: "The disk cache used by the application gets full and the application " +
+				"cannot store any more temporary files; requests that need the cache fail.",
+			HowToRepeat: "Let the proxy cache grow to the partition size, then request an " +
+				"uncached page.",
+			Severity: taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/disk-cache-full",
+		},
+		{
+			ID: "apache/edn-log-size", App: A,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerFileSizeLimit,
+			Component: "core",
+			Synopsis:  "server fails once the log file exceeds the maximum allowed file size",
+			Description: "When the access log grows past the file system's maximum file size, " +
+				"writes fail and the server stops serving.",
+			HowToRepeat: "Let the access log reach the 2 GB file size limit.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/log-file-limit",
+		},
+		{
+			ID: "apache/edn-fs-full", App: A,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerDiskFull,
+			Component: "core",
+			Synopsis:  "full file system stops the server",
+			Description: "A full file system prevents the server from writing logs and " +
+				"temporary files; requests fail until space is freed by the operator.",
+			HowToRepeat: "Fill the partition holding the logs, then send any request.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/fs-full",
+		},
+		{
+			ID: "apache/edn-net-resource", App: A,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerNetworkResource,
+			Component: "core",
+			Synopsis:  "unknown network resource exhausted under load",
+			Description: "Some kernel network resource is exhausted; connections fail until " +
+				"the operator intervenes. The resource is not owned by the application, so " +
+				"recovering the application does not replenish it.",
+			HowToRepeat: "Sustained connection load until the kernel refuses new connections.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/net-resource",
+		},
+		{
+			ID: "apache/edn-pcmcia", App: A,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerNetworkResource,
+			Component: "core",
+			Synopsis:  "removal of the PCMCIA network card kills connectivity",
+			Description: "Removing the PCMCIA network card from the computer while the server " +
+				"runs makes every network operation fail; nothing restores service until the " +
+				"card is reinserted.",
+			HowToRepeat: "Eject the PCMCIA card while the server is running.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/pcmcia-removal",
+		},
+
+		// --- environment-dependent-transient faults (7) ---
+		{
+			ID: "apache/edt-dns-error", App: A,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerDNSFailure,
+			Component: "core",
+			Synopsis:  "call to the Domain Name Service returns an error",
+			Description: "A call to the Domain Name Service returns an error and the request " +
+				"fails. The condition is likely to change when the DNS server is restarted.",
+			HowToRepeat: "Only while the site DNS server is misbehaving; a later retry succeeds.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/dns-error",
+		},
+		{
+			ID: "apache/edt-proc-table", App: A,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerProcessTable,
+			Component: "core",
+			Synopsis:  "hung children consume all process-table slots during peak load",
+			Description: "Child processes hang during peak load and consume all available " +
+				"slots in the kernel process table. As part of automatic recovery, the " +
+				"recovery system kills all processes associated with the application, which " +
+				"frees the slots.",
+			HowToRepeat: "Peak load with a slow backend; children pile up until fork fails.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomHang,
+			Mechanism: "httpd/proc-table-full",
+		},
+		{
+			ID: "apache/edt-client-abort", App: A,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerRequestTiming,
+			Component: "core",
+			Synopsis:  "user pressing stop mid-download crashes the child",
+			Description: "The user presses stop on the browser in the midst of a page " +
+				"download and the serving child fails. The fault depends on the exact timing " +
+				"of the requested workload, which is not likely to be repeated during recovery.",
+			HowToRepeat: "Press stop at just the right moment during a large transfer; timing " +
+				"dependent, hard to hit twice.",
+			Severity: taxonomy.SeveritySerious, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "httpd/client-abort",
+		},
+		{
+			ID: "apache/edt-port-squat", App: A,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerProcessTable,
+			Component: "core",
+			Synopsis:  "hung children hang onto required network ports",
+			Description: "Hung child processes keep holding the listening ports, so a restart " +
+				"cannot bind. The children will be killed during recovery and the ports freed.",
+			HowToRepeat: "Hang a child (slow client), restart the server, observe bind failure.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/port-squat",
+		},
+		{
+			ID: "apache/edt-dns-slow", App: A,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerDNSFailure,
+			Component: "core",
+			Synopsis:  "slow Domain Name Service responses stall requests",
+			Description: "Slow DNS responses stall request processing. The cause will likely " +
+				"be fixed without application-specific recovery, by restarting DNS or fixing " +
+				"the network.",
+			HowToRepeat: "Reproduces only while the DNS server is overloaded.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomHang,
+			Mechanism: "httpd/dns-slow",
+		},
+		{
+			ID: "apache/edt-slow-net", App: A,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerSlowNetwork,
+			Component: "core",
+			Synopsis:  "slow network connection causes request failures",
+			Description: "A slow network connection makes requests fail; the network may be " +
+				"fixed by the time the server recovers.",
+			HowToRepeat: "Reproduces only while the uplink is saturated.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/slow-network",
+		},
+		{
+			ID: "apache/edt-entropy", App: A,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerEntropy,
+			Component: "mod_ssl",
+			Synopsis:  "lack of events for /dev/random stalls key generation",
+			Description: "A lack of events to generate sufficient random numbers in " +
+				"/dev/random makes secure connections fail. During recovery it is likely " +
+				"that more events will be generated.",
+			HowToRepeat: "Start SSL handshakes on a freshly booted, idle machine.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "httpd/entropy-starved",
+		},
+	}
+}
+
+// apacheEITemplates are the defect-type templates for the synthesized
+// environment-independent Apache faults, drawn from the defect populations
+// the paper names (boundary conditions, pointer misuse, missing
+// initialization, signal handling).
+var apacheEITemplates = []eiTemplate{
+	{
+		synopsis:    "{component} segfaults on {input}",
+		description: "Handling {input} dereferences a NULL pointer in {component}; the child dies with SIGSEGV.",
+		howto:       "Send {input}. The child segfaults on every attempt, on every platform tried.",
+		fix:         "Check the pointer before dereferencing it in {component}.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "httpd/null-deref",
+	},
+	{
+		synopsis:    "{component} overruns a buffer given {input}",
+		description: "A fixed-size buffer in {component} is too small for {input}; adjacent memory is overwritten and the child aborts.",
+		howto:       "Send {input}; the overflow is deterministic.",
+		fix:         "Replace the fixed buffer with a pool allocation sized from the input.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "httpd/bounds",
+	},
+	{
+		synopsis:    "{component} returns garbage for {input} because a variable is never initialized",
+		description: "A status variable in {component} is read before it is assigned when the request is {input}; the response is built from stack garbage.",
+		howto:       "Send {input} as the first request to a fresh child.",
+		fix:         "Initialize the variable at declaration.",
+		symptom:     taxonomy.SymptomError,
+		mechanism:   "httpd/bad-init",
+		severity:    taxonomy.SeveritySerious,
+	},
+	{
+		synopsis:    "{component} loops forever parsing {input}",
+		description: "The parser in {component} fails to advance past a malformed token in {input} and spins; the child stops responding.",
+		howto:       "Send {input}; the child pegs the CPU and never answers.",
+		fix:         "Advance the scan position on the error path.",
+		symptom:     taxonomy.SymptomHang,
+		mechanism:   "httpd/parse-loop",
+	},
+	{
+		synopsis:    "{component} mishandles a signed/unsigned conversion on {input}",
+		description: "{component} declares a length as signed; {input} produces a negative value that is then used as an allocation size.",
+		howto:       "Send {input}. The conversion error is deterministic.",
+		fix:         "Declare the length unsigned and reject negative inputs.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "httpd/type-mismatch",
+	},
+	{
+		synopsis:    "{component} omits a boundary check for {input}",
+		description: "The boundary condition raised by {input} was never tested; {component} indexes one element past the end of a table.",
+		howto:       "Send {input}; fails every time.",
+		fix:         "Add the missing boundary check.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "httpd/missing-check",
+	},
+	{
+		synopsis:    "{component} double-frees a pool on the error path for {input}",
+		description: "When {input} takes the error path, {component} frees the request pool twice and the allocator aborts the child.",
+		howto:       "Send {input}; abort on the first request.",
+		fix:         "Clear the pool pointer after the first free.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "httpd/double-free",
+	},
+	{
+		synopsis:    "{component} returns the wrong status for {input}",
+		description: "A switch in {component} falls through for the case raised by {input}; the client receives a 200 with an empty body instead of an error.",
+		howto:       "Send {input} and compare the status line.",
+		fix:         "Add the missing case and a default.",
+		symptom:     taxonomy.SymptomError,
+		mechanism:   "httpd/wrong-status",
+		severity:    taxonomy.SeveritySerious,
+	},
+}

@@ -1,0 +1,148 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"faultstudy/internal/taxonomy"
+)
+
+// eiTemplate is a defect-type template for synthesizing the
+// environment-independent faults the paper counts but does not individually
+// describe. Placeholders: {component} and {input} substitute per instance.
+type eiTemplate struct {
+	synopsis    string
+	description string
+	howto       string
+	fix         string
+	symptom     taxonomy.Symptom
+	mechanism   string
+	severity    taxonomy.Severity
+}
+
+// reporter-detail pools: per-fault discriminating text so that two faults
+// sharing a defect template still read as distinct reports (as real reports
+// of distinct bugs do). The function-name pool is generic-by-design; the
+// surrounding template text carries the application flavor.
+var (
+	genFunctions = []string{
+		"handle_request", "parse_args", "flush_buffers", "do_command",
+		"update_state", "read_config", "emit_reply", "walk_tree",
+		"copy_fields", "check_limits", "init_context", "free_slot",
+		"scan_input",
+	}
+	genPlatforms = []string{
+		"Linux 2.0.36 (libc5)", "Linux 2.2.5 (glibc 2.1)", "Solaris 2.6 sparc",
+		"FreeBSD 3.1", "Digital Unix 4.0", "HP-UX 10.20",
+	}
+	genVoices = []string{
+		"We first noticed this on our production machine.",
+		"A colleague reported the same behaviour independently.",
+		"This started after we upgraded from the previous release.",
+		"Support asked us to file this upstream.",
+		"Found while stress-testing before deployment.",
+		"This bit us twice this week.",
+		"Our nightly run trips over this.",
+	}
+)
+
+// expandEI synthesizes n environment-independent faults for app by
+// enumerating distinct (template, input) pairs and decorating each record
+// with per-fault reporter detail. Generation is a pure function of its
+// arguments: the corpus is identical on every run.
+func expandEI(app taxonomy.Application, idPrefix string, templates []eiTemplate, components, inputs []string, n int) []*Fault {
+	if n > len(templates)*len(inputs) {
+		panic(fmt.Sprintf("corpus: cannot synthesize %d distinct faults from %d templates x %d inputs",
+			n, len(templates), len(inputs)))
+	}
+	faults := make([]*Fault, 0, n)
+	for i := 0; i < n; i++ {
+		// Distinct (template, input) pairs: no two synthesized faults share
+		// both their defect template and their triggering input — otherwise
+		// the mining pipeline would rightly merge them.
+		tpl := templates[i%len(templates)]
+		comp := components[i%len(components)]
+		input := inputs[(i/len(templates))%len(inputs)]
+		fn := genFunctions[(i*5+1)%len(genFunctions)]
+		platform := genPlatforms[(i*3+2)%len(genPlatforms)]
+		voice := genVoices[(i*2+3)%len(genVoices)]
+		sub := func(s string) string {
+			s = strings.ReplaceAll(s, "{component}", comp)
+			return strings.ReplaceAll(s, "{input}", input)
+		}
+		sev := tpl.severity
+		if sev == taxonomy.SeverityUnknown {
+			sev = taxonomy.SeverityCritical
+		}
+		faults = append(faults, &Fault{
+			ID:        fmt.Sprintf("%s/ei-%02d", idPrefix, i+1),
+			App:       app,
+			Class:     taxonomy.ClassEnvIndependent,
+			Trigger:   taxonomy.TriggerWorkloadOnly,
+			Component: comp,
+			Synopsis:  sub(tpl.synopsis),
+			Description: voice + " " + sub(tpl.description) +
+				fmt.Sprintf(" The first bad frame in the trace is %s() on %s.", fn, platform),
+			HowToRepeat: sub(tpl.howto) +
+				fmt.Sprintf(" Verified on %s; the backtrace always ends in %s().", platform, fn),
+			Fix:       sub(tpl.fix) + fmt.Sprintf(" (patch touches %s().)", fn),
+			Severity:  sev,
+			Symptom:   tpl.symptom,
+			Mechanism: tpl.mechanism,
+		})
+	}
+	return faults
+}
+
+// releaseBucket pairs a release label with its nominal date and per-class
+// quota for the figure distributions.
+type releaseBucket struct {
+	release string
+	date    time.Time
+	ei      int
+	edn     int
+	edt     int
+}
+
+// assignSchedule distributes each class list across the buckets according to
+// the per-bucket quotas, setting Release and Filed. Within a bucket, faults
+// file on successive days so the time series is strictly ordered. It panics
+// if the quotas do not sum to the list lengths — a programming error in the
+// corpus tables, caught by the package tests.
+func assignSchedule(buckets []releaseBucket, ei, edn, edt []*Fault) {
+	assign := func(faults []*Fault, quota func(releaseBucket) int) {
+		idx := 0
+		for _, b := range buckets {
+			for k := 0; k < quota(b); k++ {
+				if idx >= len(faults) {
+					panic(fmt.Sprintf("corpus: quota exceeds faults (%d)", len(faults)))
+				}
+				f := faults[idx]
+				f.Release = b.release
+				f.Filed = b.date.AddDate(0, 0, 3*k+1)
+				idx++
+			}
+		}
+		if idx != len(faults) {
+			panic(fmt.Sprintf("corpus: quota %d != faults %d", idx, len(faults)))
+		}
+	}
+	assign(ei, func(b releaseBucket) int { return b.ei })
+	assign(edn, func(b releaseBucket) int { return b.edn })
+	assign(edt, func(b releaseBucket) int { return b.edt })
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}
+
+func filterClass(faults []*Fault, c taxonomy.FaultClass) []*Fault {
+	var out []*Fault
+	for _, f := range faults {
+		if f.Class == c {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package corpus
+
+import (
+	"sync"
+
+	"faultstudy/internal/taxonomy"
+)
+
+var (
+	gnomeOnce   sync.Once
+	gnomeFaults []*Fault
+)
+
+// Gnome returns the 45 classified GNOME faults (Table 2: 39
+// environment-independent, 3 nontransient, 3 transient).
+func Gnome() []*Fault {
+	gnomeOnce.Do(func() {
+		gnomeFaults = buildGnome()
+		if err := validateSet(gnomeFaults); err != nil {
+			panic(err)
+		}
+	})
+	return gnomeFaults
+}
+
+func buildGnome() []*Fault {
+	named := gnomeNamed()
+	ei := filterClass(named, taxonomy.ClassEnvIndependent)
+	ei = append(ei, expandEI(
+		taxonomy.AppGnome, "gnome",
+		gnomeEITemplates,
+		[]string{"panel", "gnome-pim", "gnumeric", "gmc", "gnome-core"},
+		[]string{
+			"dragging an applet off the edge of the panel",
+			"opening the recurrence dialog for an all-day appointment",
+			"pasting a 65536-character cell",
+			"renaming a file to a name containing only dots",
+			"resizing the window to one pixel wide",
+			"opening the preferences dialog twice quickly",
+			"importing an empty vCard",
+			"sorting an empty sheet by column B",
+			"dropping a desktop icon onto itself",
+			"undoing immediately after launching",
+		},
+		39-len(ei),
+	)...)
+	edn := filterClass(named, taxonomy.ClassEnvDependentNonTransient)
+	edt := filterClass(named, taxonomy.ClassEnvDependentTransient)
+
+	// Figure 2 buckets GNOME faults by time: one module release ("1.0")
+	// spans the whole study, with a mid-study dip in report volume.
+	buckets := []releaseBucket{
+		{release: "1.0", date: date(1998, 10, 15), ei: 7, edn: 0, edt: 1},
+		{release: "1.0", date: date(1999, 1, 15), ei: 9, edn: 1, edt: 0},
+		{release: "1.0", date: date(1999, 4, 15), ei: 5, edn: 0, edt: 1},
+		{release: "1.0", date: date(1999, 7, 15), ei: 8, edn: 1, edt: 0},
+		{release: "1.0", date: date(1999, 10, 15), ei: 10, edn: 1, edt: 1},
+	}
+	assignSchedule(buckets, ei, edn, edt)
+
+	out := make([]*Fault, 0, 45)
+	out = append(out, ei...)
+	out = append(out, edn...)
+	out = append(out, edt...)
+	return out
+}
+
+// gnomeNamed transcribes the faults the paper describes individually in §5.2.
+func gnomeNamed() []*Fault {
+	G := taxonomy.AppGnome
+	return []*Fault{
+		// --- representative environment-independent faults ---
+		{
+			ID: "gnome/ei-tasklist-tab", App: G,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "panel",
+			Synopsis:  "clicking the tasklist tab in gnome-pager settings kills the pager",
+			Description: "Clicking on the \"tasklist\" tab in the gnome-pager settings dialog " +
+				"causes the pager to die immediately.",
+			HowToRepeat: "Open pager Properties, click the tasklist tab. Dies every time.",
+			Fix:         "Guard the tab callback against the uninitialized applet pointer.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/tasklist-tab",
+		},
+		{
+			ID: "gnome/ei-calendar-prev", App: G,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "gnome-pim",
+			Synopsis:  "prev button in the calendar year view crashes the application",
+			Description: "Clicking on the \"prev\" button in the \"year\" view of the gnome " +
+				"calendar application causes it to crash. The handler assigned a value to a " +
+				"local copy of the variable instead of the global copy.",
+			HowToRepeat: "Switch to year view, click prev. Crashes every time.",
+			Fix:         "Assign to the global variable, not the shadowing local.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/calendar-prev",
+		},
+		{
+			ID: "gnome/ei-gnumeric-tab", App: G,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "gnumeric",
+			Synopsis:  "gnumeric crashes when tab is pressed in the define-name dialog",
+			Description: "The spreadsheet crashes if a tab is pressed in the \"define name\" " +
+				"dialog or in the \"File/Summary\" dialog. Caused by initializing a variable " +
+				"to an incorrect value.",
+			HowToRepeat: "Open Insert/Name/Define, press Tab. Crashes every time.",
+			Fix:         "Initialize the focus-chain variable correctly.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/gnumeric-tab",
+		},
+		{
+			ID: "gnome/ei-gmc-targz", App: G,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "gmc",
+			Synopsis:  "double-clicking a tar.gz desktop icon crashes gmc",
+			Description: "Double-clicking on a \"tar.gz\" file that is lying as an icon on the " +
+				"desktop crashes gmc, the GNOME file manager. Caused by declaring a variable " +
+				"as \"long\" instead of \"unsigned long\".",
+			HowToRepeat: "Put a tar.gz on the desktop and double-click it. Crashes every time.",
+			Fix:         "Declare the size variable unsigned long.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/gmc-targz",
+		},
+		{
+			ID: "gnome/ei-menu-freeze", App: G,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "panel",
+			Synopsis:  "clicking the desktop to dismiss the main menu freezes the desktop",
+			Description: "After clicking the main button once to pop up the main menu, a " +
+				"click again on the desktop in order to remove the menu freezes the desktop.",
+			HowToRepeat: "Click the foot menu, then click the desktop. Freezes every time.",
+			Fix:         "Release the pointer grab before dismissing the menu.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomHang,
+			Mechanism: "desktop/menu-freeze",
+		},
+
+		// --- environment-dependent-nontransient faults (3) ---
+		{
+			ID: "gnome/edn-hostname", App: G,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerHostConfig,
+			Component: "gnome-core",
+			Synopsis:  "application fails after the machine hostname changes while it runs",
+			Description: "The hostname of the machine was changed while the application was " +
+				"running; the session's display authority entries no longer match and the " +
+				"application fails. The new hostname persists across recovery.",
+			HowToRepeat: "Start the application, change the hostname, trigger any X call.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "desktop/hostname-change",
+		},
+		{
+			ID: "gnome/edn-sound-sockets", App: G,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerFDExhaustion,
+			Component: "gnome-core",
+			Synopsis:  "sound utilities leak open sockets until descriptors run out",
+			Description: "Open sockets are left around by sound utilities while exiting. Each " +
+				"open socket consumes a file descriptor and the application eventually runs " +
+				"out of file descriptors.",
+			HowToRepeat: "Play event sounds repeatedly; watch the descriptor count climb.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "desktop/sound-socket-leak",
+		},
+		{
+			ID: "gnome/edn-illegal-owner", App: G,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerHostConfig,
+			Component: "gmc",
+			Synopsis:  "file with an illegal owner field crashes the file manager",
+			Description: "A file has an illegal value in the owner field. The application " +
+				"crashes when trying to edit the file or its properties. The bad metadata " +
+				"persists on disk across recovery.",
+			HowToRepeat: "Create a file with an out-of-range uid, open its properties dialog.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/illegal-owner",
+		},
+
+		// --- environment-dependent-transient faults (3) ---
+		{
+			ID: "gnome/edt-unknown-retry", App: G,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerRace,
+			Component: "gnome-core",
+			Synopsis:  "unknown failure of the application which works on a retry",
+			Description: "The application fails in a way the reporter could not pin down; the " +
+				"same operation works on a retry, pointing at a timing dependence.",
+			HowToRepeat: "Not reliably reproducible; succeeded on retry.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/unknown-transient",
+		},
+		{
+			ID: "gnome/edt-viewer-race", App: G,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerRace,
+			Component: "gmc",
+			Synopsis:  "race between the image viewer and the property editor",
+			Description: "A race condition between an image viewer and a property editor " +
+				"crashes the application. Race conditions depend on the exact timing of " +
+				"thread scheduling events, which are likely to change during retry.",
+			HowToRepeat: "Open the viewer and the property editor on the same file quickly; " +
+				"fails only sometimes.",
+			Severity: taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/viewer-race",
+		},
+		{
+			ID: "gnome/edt-applet-race", App: G,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerRace,
+			Component: "panel",
+			Synopsis:  "race between an applet action request and its removal",
+			Description: "A race condition between a request for action from an applet and " +
+				"its removal from the panel crashes the panel when the removal wins.",
+			HowToRepeat: "Remove an applet at the moment it is asked to act; timing dependent.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "desktop/applet-race",
+		},
+	}
+}
+
+// gnomeEITemplates are the defect-type templates for the synthesized
+// environment-independent GNOME faults.
+var gnomeEITemplates = []eiTemplate{
+	{
+		synopsis:    "{component} segfaults when {input}",
+		description: "{input} makes {component} dereference a widget pointer that was already destroyed; the application dies with SIGSEGV.",
+		howto:       "{input}. Crashes every time.",
+		fix:         "Null the pointer on destroy and check before use.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "desktop/stale-widget",
+	},
+	{
+		synopsis:    "{component} crashes from an uninitialized struct field when {input}",
+		description: "A dialog struct in {component} leaves one field uninitialized; {input} reads it and crashes.",
+		howto:       "{input} right after starting the application.",
+		fix:         "Zero the struct at allocation.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "desktop/bad-init",
+	},
+	{
+		synopsis:    "{component} freezes when {input}",
+		description: "{input} makes {component} wait on a reply it already consumed; the event loop never runs again.",
+		howto:       "{input}. The window stops redrawing every time.",
+		fix:         "Do not re-enter the blocking wait after the reply is consumed.",
+		symptom:     taxonomy.SymptomHang,
+		mechanism:   "desktop/event-loop-stall",
+	},
+	{
+		synopsis:    "{component} corrupts its config when {input}",
+		description: "{input} makes {component} write the config file with a truncated integer; on next start the value is garbage and the app errors out.",
+		howto:       "{input}, restart the application.",
+		fix:         "Use the full-width type when serializing.",
+		symptom:     taxonomy.SymptomError,
+		mechanism:   "desktop/config-truncate",
+		severity:    taxonomy.SeveritySerious,
+	},
+	{
+		synopsis:    "{component} crashes on an off-by-one when {input}",
+		description: "{component} iterates one element past the end of its item list when {input}.",
+		howto:       "{input}. Deterministic crash.",
+		fix:         "Fix the loop bound.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "desktop/off-by-one",
+	},
+	{
+		synopsis:    "{component} mixes up signed comparison and errors out when {input}",
+		description: "A size declared long instead of unsigned long in {component} goes negative when {input}, failing a sanity check.",
+		howto:       "{input}.",
+		fix:         "Declare the size unsigned long.",
+		symptom:     taxonomy.SymptomError,
+		mechanism:   "desktop/type-mismatch",
+		severity:    taxonomy.SeveritySerious,
+	},
+	{
+		synopsis:    "{component} double-frees a list node when {input}",
+		description: "The undo path in {component} frees the same list node twice when {input}; glib aborts.",
+		howto:       "{input}. Aborts every time.",
+		fix:         "Take ownership of the node exactly once.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "desktop/double-free",
+	},
+}

@@ -1,0 +1,265 @@
+package corpus
+
+import (
+	"sync"
+
+	"faultstudy/internal/taxonomy"
+)
+
+var (
+	mysqlOnce   sync.Once
+	mysqlFaults []*Fault
+)
+
+// MySQL returns the 44 classified MySQL faults (Table 3: 38
+// environment-independent, 4 nontransient, 2 transient).
+func MySQL() []*Fault {
+	mysqlOnce.Do(func() {
+		mysqlFaults = buildMySQL()
+		if err := validateSet(mysqlFaults); err != nil {
+			panic(err)
+		}
+	})
+	return mysqlFaults
+}
+
+func buildMySQL() []*Fault {
+	named := mysqlNamed()
+	ei := filterClass(named, taxonomy.ClassEnvIndependent)
+	ei = append(ei, expandEI(
+		taxonomy.AppMySQL, "mysql",
+		mysqlEITemplates,
+		[]string{"mysqld", "optimizer", "isam", "parser", "replication"},
+		[]string{
+			"a SELECT with 33 joined tables",
+			"a GROUP BY on a column that is also aliased in the select list",
+			"an ALTER TABLE that drops the only index",
+			"a LIKE pattern ending in an escape character",
+			"an INSERT of a negative value into an AUTO_INCREMENT column",
+			"a DELETE with a LIMIT larger than the row count",
+			"a UNION of two empty tables",
+			"a WHERE clause comparing a DATE to an empty string",
+			"a temporary table reused inside the same query",
+			"a HAVING clause without GROUP BY",
+		},
+		38-len(ei),
+	)...)
+	edn := filterClass(named, taxonomy.ClassEnvDependentNonTransient)
+	edt := filterClass(named, taxonomy.ClassEnvDependentTransient)
+
+	buckets := []releaseBucket{
+		{release: "3.21.33", date: date(1998, 7, 8), ei: 6, edn: 1, edt: 0},
+		{release: "3.22.20", date: date(1999, 3, 2), ei: 8, edn: 1, edt: 0},
+		{release: "3.22.25", date: date(1999, 6, 10), ei: 9, edn: 1, edt: 1},
+		{release: "3.22.29", date: date(1999, 9, 4), ei: 12, edn: 1, edt: 1},
+		// The last release is very new, so very few users run it (paper §5.3).
+		{release: "3.23.2", date: date(1999, 11, 20), ei: 3, edn: 0, edt: 0},
+	}
+	assignSchedule(buckets, ei, edn, edt)
+
+	out := make([]*Fault, 0, 44)
+	out = append(out, ei...)
+	out = append(out, edn...)
+	out = append(out, edt...)
+	return out
+}
+
+// mysqlNamed transcribes the faults the paper describes individually in §5.3.
+func mysqlNamed() []*Fault {
+	M := taxonomy.AppMySQL
+	return []*Fault{
+		// --- representative environment-independent faults ---
+		{
+			ID: "mysql/ei-index-update", App: M,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "isam",
+			Synopsis:  "updating an index to a value found later in the scan crashes mysqld",
+			Description: "Updating an index to a value that will be found later while " +
+				"scanning the index tree creates duplicate values in the index and crashes " +
+				"MySQL.",
+			HowToRepeat: "UPDATE t SET k = k + 1 on an indexed column whose next value exists. " +
+				"Crashes every time.",
+			Fix:      "First scan for all matching rows, then update the found rows.",
+			Severity: taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/index-update-scan",
+		},
+		{
+			ID: "mysql/ei-orderby-empty", App: M,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "optimizer",
+			Synopsis:  "SELECT matching zero records with ORDER BY crashes the server",
+			Description: "A query which selects zero records and has an \"order by\" clause " +
+				"causes the server to crash, due to missing initialization statements in the " +
+				"sort setup.",
+			HowToRepeat: "SELECT * FROM t WHERE 1=0 ORDER BY c. Crashes every time.",
+			Fix:         "Add the missing initialization before sorting.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/orderby-empty",
+		},
+		{
+			ID: "mysql/ei-count-empty", App: M,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "mysqld",
+			Synopsis:  "COUNT on an empty table crashes mysqld",
+			Description: "The use of a \"count\" clause on an empty table causes MySQL to " +
+				"crash, due to a missing check for empty tables.",
+			HowToRepeat: "CREATE TABLE t (c INT); SELECT COUNT(c) FROM t; crashes every time.",
+			Fix:         "Check for the empty-table case before aggregating.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/count-empty",
+		},
+		{
+			ID: "mysql/ei-optimize", App: M,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "isam",
+			Synopsis:  "OPTIMIZE TABLE crashes the server",
+			Description: "An \"OPTIMIZE TABLE\" query crashes the server, caused by a missing " +
+				"initialization statement in the table-rebuild path.",
+			HowToRepeat: "OPTIMIZE TABLE t on any table. Crashes every time.",
+			Fix:         "Initialize the rebuild state before compacting.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/optimize-crash",
+		},
+		{
+			ID: "mysql/ei-flush-lock", App: M,
+			Class: taxonomy.ClassEnvIndependent, Trigger: taxonomy.TriggerWorkloadOnly,
+			Component: "mysqld",
+			Synopsis:  "FLUSH TABLES after LOCK TABLES crashes the server",
+			Description: "A \"FLUSH TABLES\" command issued after a \"LOCK TABLES\" command " +
+				"crashes the server.",
+			HowToRepeat: "LOCK TABLES t READ; FLUSH TABLES; crashes every time.",
+			Fix:         "Release the table locks before flushing the table cache.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/flush-after-lock",
+		},
+
+		// --- environment-dependent-nontransient faults (4) ---
+		{
+			ID: "mysql/edn-fd-competition", App: M,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerFDExhaustion,
+			Component: "mysqld",
+			Synopsis:  "descriptor shortage from competition with a co-hosted web server",
+			Description: "A shortage of file descriptors due to competition between MySQL and " +
+				"a web server on the same machine makes table opens fail. The competing " +
+				"consumer persists across recovery of the database.",
+			HowToRepeat: "Run the database beside a busy web server with a low descriptor limit.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "sqldb/fd-competition",
+		},
+		{
+			ID: "mysql/edn-reverse-dns", App: M,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerHostConfig,
+			Component: "mysqld",
+			Synopsis:  "connection from a host without reverse DNS crashes the server",
+			Description: "The server crashes when it receives a connection request from a " +
+				"remote machine if reverse DNS is not configured for the remote host. The " +
+				"missing PTR record persists until an administrator adds it.",
+			HowToRepeat: "Connect from a machine with no PTR record. Crashes on each attempt.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/no-reverse-dns",
+		},
+		{
+			ID: "mysql/edn-file-limit", App: M,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerFileSizeLimit,
+			Component: "isam",
+			Synopsis:  "database file exceeding the maximum allowed file size fails writes",
+			Description: "The size of a database file is greater than the maximum allowed " +
+				"file size; inserts fail and the condition persists across recovery.",
+			HowToRepeat: "Grow a table datafile to the file system's size limit, then INSERT.",
+			Severity:    taxonomy.SeveritySerious, Symptom: taxonomy.SymptomError,
+			Mechanism: "sqldb/db-file-limit",
+		},
+		{
+			ID: "mysql/edn-fs-full", App: M,
+			Class: taxonomy.ClassEnvDependentNonTransient, Trigger: taxonomy.TriggerDiskFull,
+			Component: "mysqld",
+			Synopsis:  "full file system prevents all operations on the database",
+			Description: "A full file system prevents all operations on the database; " +
+				"the space shortage persists until an operator frees space.",
+			HowToRepeat: "Fill the data partition, then run any write query.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomError,
+			Mechanism: "sqldb/fs-full",
+		},
+
+		// --- environment-dependent-transient faults (2) ---
+		{
+			ID: "mysql/edt-signal-race", App: M,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerRace,
+			Component: "mysqld",
+			Synopsis:  "race between the masking of a signal and its arrival",
+			Description: "A race condition between the masking of a signal and its arrival " +
+				"kills the server. Race conditions depend on the exact timing of thread " +
+				"scheduling events, which are likely to change during retry.",
+			HowToRepeat: "Heavy connection churn; fails rarely and not reproducibly.",
+			Severity:    taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/signal-mask-race",
+		},
+		{
+			ID: "mysql/edt-login-race", App: M,
+			Class: taxonomy.ClassEnvDependentTransient, Trigger: taxonomy.TriggerRace,
+			Component: "mysqld",
+			Synopsis:  "race between a new user login and commands issued by the administrator",
+			Description: "A race condition between a new user login and administrative " +
+				"commands (GRANT/FLUSH PRIVILEGES) crashes the server when they interleave " +
+				"the wrong way.",
+			HowToRepeat: "Log users in while the administrator reloads privileges; timing " +
+				"dependent.",
+			Severity: taxonomy.SeverityCritical, Symptom: taxonomy.SymptomCrash,
+			Mechanism: "sqldb/login-admin-race",
+		},
+	}
+}
+
+// mysqlEITemplates are the defect-type templates for the synthesized
+// environment-independent MySQL faults.
+var mysqlEITemplates = []eiTemplate{
+	{
+		synopsis:    "{component} crashes on {input}",
+		description: "{input} drives {component} down a path with a missing null check; the server dies with a segmentation fault.",
+		howto:       "Issue {input}. Crashes every time, any platform.",
+		fix:         "Check the handle before dereferencing.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "sqldb/null-deref",
+	},
+	{
+		synopsis:    "{component} returns wrong results for {input}",
+		description: "{input} makes {component} reuse a sort buffer without resetting its length; rows from the previous query leak into the result.",
+		howto:       "Run any query, then {input}; compare row counts.",
+		fix:         "Reset the buffer between queries.",
+		symptom:     taxonomy.SymptomError,
+		mechanism:   "sqldb/stale-buffer",
+		severity:    taxonomy.SeveritySerious,
+	},
+	{
+		synopsis:    "{component} hits a missing initialization on {input}",
+		description: "A descriptor in {component} is used before it is initialized when the query is {input}; the server aborts with an assertion.",
+		howto:       "Issue {input} as the first statement of a fresh connection.",
+		fix:         "Add the missing initialization statement.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "sqldb/bad-init",
+	},
+	{
+		synopsis:    "{component} loops forever executing {input}",
+		description: "{input} makes the executor in {component} re-enqueue the same work item; the thread spins and the connection hangs.",
+		howto:       "Issue {input}; the connection never returns.",
+		fix:         "Advance the cursor on the empty-result path.",
+		symptom:     taxonomy.SymptomHang,
+		mechanism:   "sqldb/exec-loop",
+	},
+	{
+		synopsis:    "{component} overflows a length field on {input}",
+		description: "{input} produces a row longer than the 16-bit length field in {component}; adjacent record headers are overwritten and the table is corrupted.",
+		howto:       "Issue {input} against a wide table.",
+		fix:         "Widen the length field and validate row size.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "sqldb/bounds",
+	},
+	{
+		synopsis:    "{component} mis-handles the empty result of {input}",
+		description: "The empty result produced by {input} takes an untested branch in {component} missing a bounds check; the server crashes.",
+		howto:       "Issue {input} on an empty table.",
+		fix:         "Add the missing empty-result check.",
+		symptom:     taxonomy.SymptomCrash,
+		mechanism:   "sqldb/missing-check",
+	},
+}

@@ -1,0 +1,194 @@
+package dedup
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"faultstudy/internal/report"
+	"faultstudy/internal/taxonomy"
+)
+
+func mk(id string, app taxonomy.Application, filed time.Time, text string) *report.Report {
+	return &report.Report{
+		ID:          id,
+		App:         app,
+		Synopsis:    text,
+		Description: text,
+		Filed:       filed,
+	}
+}
+
+func TestShingles(t *testing.T) {
+	set := Shingles("the server dies with a segfault", 3)
+	if _, ok := set["the server dies"]; !ok {
+		t.Errorf("missing shingle: %v", set)
+	}
+	if len(set) != 4 {
+		t.Errorf("got %d shingles, want 4", len(set))
+	}
+	// Short text collapses to one shingle.
+	short := Shingles("hi there", 3)
+	if len(short) != 1 {
+		t.Errorf("short text shingles = %v", short)
+	}
+	if len(Shingles("", 3)) != 0 {
+		t.Error("empty text should have no shingles")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	a := "the server dies with a segfault when the submitted url is very long"
+	b := "server dies with a segfault when the submitted url is very long indeed"
+	if sim := Similarity(a, b, 3); sim < 0.5 {
+		t.Errorf("near-duplicates similarity = %.2f, want >= 0.5", sim)
+	}
+	c := "optimize table crashes the database server"
+	if sim := Similarity(a, c, 3); sim > 0.1 {
+		t.Errorf("unrelated similarity = %.2f, want ~0", sim)
+	}
+	if Similarity(a, a, 3) != 1.0 {
+		t.Error("self similarity should be 1")
+	}
+}
+
+func TestMarkDetectsDuplicates(t *testing.T) {
+	t0 := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	core := "the server dies with a segfault when the submitted url is very long, " +
+		"hash overflow in the uri processing code, happens on every request " +
+		"longer than eight thousand characters regardless of configuration"
+	canonical := mk("PR-1", taxonomy.AppApache, t0, core)
+	dup := mk("PR-2", taxonomy.AppApache, t0.AddDate(0, 0, 5),
+		core+" also seen here on linux 2.2 with the same config")
+	other := mk("PR-3", taxonomy.AppApache, t0.AddDate(0, 0, 7),
+		"optimize table query crashes the server because of a missing initialization statement")
+
+	n := Mark([]*report.Report{dup, canonical, other}, Options{})
+	if n != 1 {
+		t.Fatalf("marked %d, want 1", n)
+	}
+	if dup.DuplicateOf != "PR-1" {
+		t.Errorf("dup.DuplicateOf = %q, want PR-1", dup.DuplicateOf)
+	}
+	if canonical.DuplicateOf != "" || other.DuplicateOf != "" {
+		t.Error("canonical/other should not be marked")
+	}
+}
+
+func TestMarkCanonicalIsEarliest(t *testing.T) {
+	t0 := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	text := "panel applet crashes when the tasklist tab is clicked in the settings dialog"
+	later := mk("GB-9", taxonomy.AppGnome, t0.AddDate(0, 1, 0), text)
+	earlier := mk("GB-2", taxonomy.AppGnome, t0, text)
+	Mark([]*report.Report{later, earlier}, Options{})
+	if later.DuplicateOf != "GB-2" {
+		t.Errorf("later.DuplicateOf = %q, want GB-2", later.DuplicateOf)
+	}
+	if earlier.DuplicateOf != "" {
+		t.Error("earliest report must stay canonical")
+	}
+}
+
+func TestMarkAppsNeverCrossMatch(t *testing.T) {
+	t0 := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	text := "the server crashes with a segmentation fault on startup every single time"
+	a := mk("PR-1", taxonomy.AppApache, t0, text)
+	m := mk("M-1", taxonomy.AppMySQL, t0.AddDate(0, 0, 1), text)
+	if n := Mark([]*report.Report{a, m}, Options{}); n != 0 {
+		t.Errorf("cross-app duplicates marked: %d", n)
+	}
+}
+
+func TestMarkChainCollapsesToOneCanonical(t *testing.T) {
+	t0 := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	base := "mysqld dies during optimize table with a segmentation fault missing initialization"
+	var reports []*report.Report
+	for i := 0; i < 5; i++ {
+		reports = append(reports, mk(fmt.Sprintf("M-%d", i), taxonomy.AppMySQL,
+			t0.AddDate(0, 0, i), fmt.Sprintf("%s variant %d", base, i)))
+	}
+	n := Mark(reports, Options{Threshold: 0.5})
+	if n != 4 {
+		t.Fatalf("marked %d, want 4", n)
+	}
+	for i := 1; i < 5; i++ {
+		if reports[i].DuplicateOf != "M-0" {
+			t.Errorf("report %d duplicates %q, want M-0", i, reports[i].DuplicateOf)
+		}
+	}
+	if got := len(report.Canonical(reports)); got != 1 {
+		t.Errorf("canonical count = %d, want 1", got)
+	}
+}
+
+func TestMarkIdempotent(t *testing.T) {
+	t0 := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	text := "gnumeric crashes if a tab is pressed in the define name dialog due to bad initialization"
+	a := mk("GB-1", taxonomy.AppGnome, t0, text)
+	b := mk("GB-2", taxonomy.AppGnome, t0.AddDate(0, 0, 1), text+" also on red hat")
+	rs := []*report.Report{a, b}
+	first := Mark(rs, Options{})
+	second := Mark(rs, Options{})
+	if first != second {
+		t.Errorf("Mark not idempotent: %d then %d", first, second)
+	}
+}
+
+func TestMarkThresholdRespected(t *testing.T) {
+	t0 := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	a := mk("PR-1", taxonomy.AppApache, t0,
+		"server dies with segfault when url is long")
+	b := mk("PR-2", taxonomy.AppApache, t0.AddDate(0, 0, 1),
+		"server dies with segfault when header is malformed")
+	// At an impossible threshold nothing matches.
+	if n := Mark([]*report.Report{a, b}, Options{Threshold: 0.99}); n != 0 {
+		t.Errorf("marked %d at threshold 0.99", n)
+	}
+}
+
+// Property: Mark never marks more than len(reports)-1 duplicates, never marks
+// a report as its own duplicate, and every DuplicateOf names a canonical
+// report.
+func TestMarkInvariantsProperty(t *testing.T) {
+	t0 := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	texts := []string{
+		"server dies with a segfault when the submitted url is very long",
+		"optimize table crashes the server missing initialization",
+		"panel applet dies when tasklist tab clicked",
+		"full file system prevents all operations on the database",
+	}
+	f := func(choice []uint8) bool {
+		if len(choice) == 0 || len(choice) > 20 {
+			return true
+		}
+		var rs []*report.Report
+		for i, c := range choice {
+			rs = append(rs, mk(fmt.Sprintf("R-%d", i), taxonomy.AppApache,
+				t0.AddDate(0, 0, i), texts[int(c)%len(texts)]))
+		}
+		n := Mark(rs, Options{})
+		if n >= len(rs) && len(rs) > 0 {
+			return false
+		}
+		ids := make(map[string]*report.Report)
+		for _, r := range rs {
+			ids[r.ID] = r
+		}
+		for _, r := range rs {
+			if r.DuplicateOf == r.ID {
+				return false
+			}
+			if r.DuplicateOf != "" {
+				canon, ok := ids[r.DuplicateOf]
+				if !ok || canon.DuplicateOf != "" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

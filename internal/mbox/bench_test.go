@@ -1,0 +1,65 @@
+package mbox
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func benchArchive(n int) string {
+	var b strings.Builder
+	base := time.Date(1999, 3, 1, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		date := base.Add(time.Duration(i) * time.Hour)
+		fmt.Fprintf(&b, "From u%d@example.com %s\n", i, date.Format("Mon Jan 2 15:04:05 2006"))
+		fmt.Fprintf(&b, "Message-Id: <m%d@list>\n", i)
+		if i%3 != 0 {
+			fmt.Fprintf(&b, "In-Reply-To: <m%d@list>\n", i-i%3)
+		}
+		fmt.Fprintf(&b, "From: u%d@example.com\nSubject: thread %d about the server\n", i, i/3)
+		fmt.Fprintf(&b, "Date: %s\n\n", date.Format(time.RFC1123Z))
+		fmt.Fprintf(&b, "Body of message %d; the server crashed during operation %d.\n\n", i, i)
+	}
+	return b.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	archive := benchArchive(300)
+	b.SetBytes(int64(len(archive)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(strings.NewReader(archive)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThreadMessages(b *testing.B) {
+	msgs, err := Parse(strings.NewReader(benchArchive(300)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		threads := ThreadMessages(msgs)
+		if len(threads) != 100 {
+			b.Fatalf("threads = %d", len(threads))
+		}
+	}
+}
+
+func BenchmarkFilterThreads(b *testing.B) {
+	msgs, err := Parse(strings.NewReader(benchArchive(300)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	threads := ThreadMessages(msgs)
+	keywords := DefaultKeywords()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FilterThreads(threads, keywords)
+	}
+}

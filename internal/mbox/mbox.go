@@ -1,0 +1,269 @@
+// Package mbox parses Unix mbox mail archives and threads the messages — the
+// format of the MySQL mailing-list archive the study mined (paper §4). It
+// implements the study's methodology for that source: keyword search over the
+// archive ("crash", "segmentation", "race", "died") followed by narrowing the
+// matching messages to unique bugs by thread.
+package mbox
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/textproto"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Message is one parsed mail message.
+type Message struct {
+	// MessageID is the Message-ID header without angle brackets.
+	MessageID string
+	// InReplyTo is the In-Reply-To header without angle brackets, or "".
+	InReplyTo string
+	// References lists the References header IDs, oldest first.
+	References []string
+	// From is the From header.
+	From string
+	// Subject is the Subject header.
+	Subject string
+	// Date is the parsed Date header; zero when absent or unparseable.
+	Date time.Time
+	// Body is the message body.
+	Body string
+}
+
+// Parse reads an mbox stream and returns its messages in file order.
+// A message begins at a line starting with "From " (the mbox From_ line);
+// ">From" quoting in bodies is unescaped.
+func Parse(r io.Reader) ([]*Message, error) {
+	br := bufio.NewReader(r)
+	var (
+		msgs []*Message
+		raw  []string
+	)
+	flush := func() error {
+		if raw == nil {
+			return nil
+		}
+		m, err := parseMessage(raw)
+		if err != nil {
+			return err
+		}
+		msgs = append(msgs, m)
+		raw = nil
+		return nil
+	}
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if line != "" {
+			lineNo++
+			trimmed := strings.TrimRight(line, "\r\n")
+			if strings.HasPrefix(trimmed, "From ") {
+				if err := flush(); err != nil {
+					return nil, fmt.Errorf("mbox line %d: %w", lineNo, err)
+				}
+				raw = []string{} // start new message; From_ line itself is dropped
+			} else if raw != nil {
+				if strings.HasPrefix(trimmed, ">From") {
+					trimmed = trimmed[1:]
+				}
+				raw = append(raw, trimmed)
+			} else if strings.TrimSpace(trimmed) != "" {
+				return nil, fmt.Errorf("mbox line %d: content before first From_ line", lineNo)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mbox read: %w", err)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return msgs, nil
+}
+
+// dateLayouts are the Date header formats seen in late-90s list archives.
+var dateLayouts = []string{
+	time.RFC1123Z,
+	time.RFC1123,
+	"Mon, 2 Jan 2006 15:04:05 -0700",
+	"Mon, 2 Jan 2006 15:04:05 MST",
+	"2 Jan 2006 15:04:05 -0700",
+}
+
+func parseMessage(lines []string) (*Message, error) {
+	// Split headers from body at the first blank line.
+	sep := len(lines)
+	for i, l := range lines {
+		if strings.TrimSpace(l) == "" {
+			sep = i
+			break
+		}
+	}
+	hdrText := strings.Join(lines[:sep], "\r\n") + "\r\n\r\n"
+	tp := textproto.NewReader(bufio.NewReader(strings.NewReader(hdrText)))
+	hdr, err := tp.ReadMIMEHeader()
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("headers: %w", err)
+	}
+	body := ""
+	if sep+1 <= len(lines) {
+		body = strings.Join(lines[min(sep+1, len(lines)):], "\n")
+	}
+	m := &Message{
+		MessageID: stripAngle(hdr.Get("Message-Id")),
+		InReplyTo: stripAngle(hdr.Get("In-Reply-To")),
+		From:      hdr.Get("From"),
+		Subject:   hdr.Get("Subject"),
+		Body:      body,
+	}
+	for _, ref := range strings.Fields(hdr.Get("References")) {
+		if id := stripAngle(ref); id != "" {
+			m.References = append(m.References, id)
+		}
+	}
+	if ds := hdr.Get("Date"); ds != "" {
+		for _, layout := range dateLayouts {
+			if t, perr := time.Parse(layout, ds); perr == nil {
+				m.Date = t.UTC()
+				break
+			}
+		}
+	}
+	if m.MessageID == "" {
+		return nil, fmt.Errorf("message %q has no Message-Id", m.Subject)
+	}
+	return m, nil
+}
+
+func stripAngle(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	s = strings.TrimSuffix(s, ">")
+	return s
+}
+
+// Thread is a root message and all transitive replies, ordered by date.
+type Thread struct {
+	// RootID is the Message-ID of the thread root.
+	RootID string
+	// Subject is the root subject with any Re:/Fwd: prefixes removed.
+	Subject string
+	// Messages holds the thread's messages, root first.
+	Messages []*Message
+}
+
+// ThreadMessages groups messages into threads. A message joins the thread of
+// its In-Reply-To or first References ancestor; messages whose ancestors are
+// missing from the archive fall back to subject-based grouping (normalized by
+// stripping reply prefixes), matching how list archives reconstruct broken
+// threading.
+func ThreadMessages(msgs []*Message) []*Thread {
+	idToThread := make(map[string]*Thread, len(msgs))
+	subjToThread := make(map[string]*Thread, len(msgs))
+	var threads []*Thread
+
+	addTo := func(t *Thread, m *Message) {
+		t.Messages = append(t.Messages, m)
+		idToThread[m.MessageID] = t
+	}
+
+	for _, m := range msgs {
+		parent := m.InReplyTo
+		if parent == "" && len(m.References) > 0 {
+			parent = m.References[len(m.References)-1]
+		}
+		if parent != "" {
+			if t, ok := idToThread[parent]; ok {
+				addTo(t, m)
+				continue
+			}
+		}
+		subj := NormalizeSubject(m.Subject)
+		if isReply(m.Subject) || parent != "" {
+			if t, ok := subjToThread[subj]; ok {
+				addTo(t, m)
+				continue
+			}
+		}
+		t := &Thread{RootID: m.MessageID, Subject: subj}
+		addTo(t, m)
+		subjToThread[subj] = t
+		threads = append(threads, t)
+	}
+
+	for _, t := range threads {
+		sort.SliceStable(t.Messages, func(i, j int) bool {
+			return t.Messages[i].Date.Before(t.Messages[j].Date)
+		})
+	}
+	return threads
+}
+
+// NormalizeSubject strips Re:/Fwd:/mailing-list tags and collapses
+// whitespace, lowercased.
+func NormalizeSubject(s string) string {
+	s = strings.TrimSpace(s)
+	for {
+		lower := strings.ToLower(s)
+		switch {
+		case strings.HasPrefix(lower, "re:"):
+			s = strings.TrimSpace(s[3:])
+		case strings.HasPrefix(lower, "fwd:"):
+			s = strings.TrimSpace(s[4:])
+		case strings.HasPrefix(s, "[") && strings.Contains(s, "]"):
+			s = strings.TrimSpace(s[strings.Index(s, "]")+1:])
+		default:
+			return strings.ToLower(strings.Join(strings.Fields(s), " "))
+		}
+	}
+}
+
+func isReply(subject string) bool {
+	return strings.HasPrefix(strings.ToLower(strings.TrimSpace(subject)), "re:")
+}
+
+// DefaultKeywords are the study's serious-bug search terms for the MySQL
+// list archive (paper §4).
+func DefaultKeywords() []string {
+	return []string{"crash", "segmentation", "race", "died"}
+}
+
+// MatchesKeywords reports whether the message's subject or body contains any
+// of the keywords, case-insensitively.
+func (m *Message) MatchesKeywords(keywords []string) bool {
+	text := strings.ToLower(m.Subject + "\n" + m.Body)
+	for _, k := range keywords {
+		if strings.Contains(text, strings.ToLower(k)) {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterThreads returns the threads in which at least one message matches the
+// keywords.
+func FilterThreads(threads []*Thread, keywords []string) []*Thread {
+	out := make([]*Thread, 0, len(threads))
+	for _, t := range threads {
+		for _, m := range t.Messages {
+			if m.MatchesKeywords(keywords) {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

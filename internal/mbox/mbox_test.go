@@ -1,0 +1,195 @@
+package mbox
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleMbox = `From alice@example.com Fri Oct  1 10:00:00 1999
+Message-Id: <m1@list.example.com>
+From: alice@example.com (Alice)
+Subject: mysqld died during OPTIMIZE TABLE
+Date: Fri, 01 Oct 1999 10:00:00 +0000
+
+Running OPTIMIZE TABLE crashes the server every time.
+>From my reading of the code it's a missing initialization.
+
+From bob@example.com Fri Oct  1 11:00:00 1999
+Message-Id: <m2@list.example.com>
+In-Reply-To: <m1@list.example.com>
+From: bob@example.com (Bob)
+Subject: Re: mysqld died during OPTIMIZE TABLE
+Date: Fri, 01 Oct 1999 11:00:00 +0000
+
+Confirmed, same here.
+
+From carol@example.com Sat Oct  2 09:00:00 1999
+Message-Id: <m3@list.example.com>
+From: carol@example.com (Carol)
+Subject: slow queries on big joins
+Date: Sat, 02 Oct 1999 09:00:00 +0000
+
+Big joins take minutes, everything else is fine.
+
+From dave@example.com Sun Oct  3 09:00:00 1999
+Message-Id: <m4@list.example.com>
+From: dave@example.com (Dave)
+Subject: Re: mysqld died during OPTIMIZE TABLE
+Date: Sun, 03 Oct 1999 09:00:00 +0000
+
+Me too, segmentation fault in the index code.
+`
+
+func TestParseBasic(t *testing.T) {
+	msgs, err := Parse(strings.NewReader(sampleMbox))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4 {
+		t.Fatalf("parsed %d messages, want 4", len(msgs))
+	}
+	m := msgs[0]
+	if m.MessageID != "m1@list.example.com" {
+		t.Errorf("MessageID = %q", m.MessageID)
+	}
+	if m.Subject != "mysqld died during OPTIMIZE TABLE" {
+		t.Errorf("Subject = %q", m.Subject)
+	}
+	if !strings.Contains(m.Body, "From my reading") {
+		t.Errorf("mbox >From unescaping failed: %q", m.Body)
+	}
+	want := time.Date(1999, 10, 1, 10, 0, 0, 0, time.UTC)
+	if !m.Date.Equal(want) {
+		t.Errorf("Date = %v, want %v", m.Date, want)
+	}
+	if msgs[1].InReplyTo != "m1@list.example.com" {
+		t.Errorf("InReplyTo = %q", msgs[1].InReplyTo)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("garbage before any From_ line\n")); err == nil {
+		t.Error("content before first From_ line should fail")
+	}
+	noID := "From x Fri Oct  1 10:00:00 1999\nSubject: hi\n\nbody\n"
+	if _, err := Parse(strings.NewReader(noID)); err == nil {
+		t.Error("message without Message-Id should fail")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	msgs, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Errorf("empty mbox produced %d messages", len(msgs))
+	}
+}
+
+func TestThreading(t *testing.T) {
+	msgs, err := Parse(strings.NewReader(sampleMbox))
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := ThreadMessages(msgs)
+	if len(threads) != 2 {
+		t.Fatalf("got %d threads, want 2", len(threads))
+	}
+	var optimize *Thread
+	for _, th := range threads {
+		if strings.Contains(th.Subject, "optimize") {
+			optimize = th
+		}
+	}
+	if optimize == nil {
+		t.Fatal("missing OPTIMIZE TABLE thread")
+	}
+	// m2 threads by In-Reply-To; m4 has no In-Reply-To but a Re: subject, so
+	// it joins by normalized subject.
+	if len(optimize.Messages) != 3 {
+		t.Errorf("OPTIMIZE thread has %d messages, want 3", len(optimize.Messages))
+	}
+	if optimize.RootID != "m1@list.example.com" {
+		t.Errorf("thread root = %q", optimize.RootID)
+	}
+	// Messages sorted by date.
+	for i := 1; i < len(optimize.Messages); i++ {
+		if optimize.Messages[i].Date.Before(optimize.Messages[i-1].Date) {
+			t.Error("thread messages not date-ordered")
+		}
+	}
+}
+
+func TestThreadingByReferences(t *testing.T) {
+	msgs := []*Message{
+		{MessageID: "a", Subject: "root", Date: time.Unix(1, 0)},
+		{MessageID: "b", Subject: "unrelated subject", References: []string{"x", "a"}, Date: time.Unix(2, 0)},
+	}
+	threads := ThreadMessages(msgs)
+	if len(threads) != 1 {
+		t.Fatalf("got %d threads, want 1 (References should thread)", len(threads))
+	}
+}
+
+func TestReplyWithoutParentStartsOwnThreadWhenSubjectUnknown(t *testing.T) {
+	msgs := []*Message{
+		{MessageID: "only", Subject: "Re: lost thread", InReplyTo: "missing", Date: time.Unix(1, 0)},
+	}
+	threads := ThreadMessages(msgs)
+	if len(threads) != 1 || threads[0].RootID != "only" {
+		t.Errorf("orphan reply should start its own thread: %+v", threads)
+	}
+}
+
+func TestNormalizeSubject(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Re: Re: crash", "crash"},
+		{"[mysql] server died", "server died"},
+		{"Fwd: [mysql] Re:  many   spaces ", "many spaces"},
+		{"plain", "plain"},
+	}
+	for _, tt := range tests {
+		if got := NormalizeSubject(tt.in); got != tt.want {
+			t.Errorf("NormalizeSubject(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestKeywordFiltering(t *testing.T) {
+	msgs, err := Parse(strings.NewReader(sampleMbox))
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := ThreadMessages(msgs)
+	serious := FilterThreads(threads, DefaultKeywords())
+	if len(serious) != 1 {
+		t.Fatalf("got %d serious threads, want 1", len(serious))
+	}
+	if !strings.Contains(serious[0].Subject, "optimize") {
+		t.Errorf("wrong thread selected: %q", serious[0].Subject)
+	}
+}
+
+func TestMatchesKeywordsCaseInsensitive(t *testing.T) {
+	m := &Message{Subject: "Server DIED", Body: ""}
+	if !m.MatchesKeywords(DefaultKeywords()) {
+		t.Error("case-insensitive match failed")
+	}
+	m2 := &Message{Subject: "slow query", Body: "nothing serious"}
+	if m2.MatchesKeywords(DefaultKeywords()) {
+		t.Error("false positive keyword match")
+	}
+}
+
+func TestParseCRLF(t *testing.T) {
+	crlf := strings.ReplaceAll(sampleMbox, "\n", "\r\n")
+	msgs, err := Parse(strings.NewReader(crlf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4 {
+		t.Errorf("CRLF mbox parsed %d messages, want 4", len(msgs))
+	}
+}

@@ -1,0 +1,45 @@
+package scrape
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchDoc() string {
+	var b strings.Builder
+	b.WriteString("<html><head><title>index</title></head><body>")
+	for i := 0; i < 500; i++ {
+		b.WriteString(`<li><a href="/bugdb/pr/`)
+		b.WriteString(strings.Repeat("1", 1+i%4))
+		b.WriteString(`">PR</a> some descriptive text with &amp; entities</li>`)
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	doc := benchDoc()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Tokenize(doc)
+	}
+}
+
+func BenchmarkLinks(b *testing.B) {
+	doc := benchDoc()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Links(doc)
+	}
+}
+
+func BenchmarkText(b *testing.B) {
+	doc := benchDoc()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Text(doc)
+	}
+}

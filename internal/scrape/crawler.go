@@ -1,0 +1,177 @@
+package scrape
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Page is one fetched page.
+type Page struct {
+	// URL is the final URL of the page.
+	URL string
+	// Body is the raw response body.
+	Body string
+	// Status is the HTTP status code.
+	Status int
+}
+
+// CrawlerOption configures a Crawler.
+type CrawlerOption func(*Crawler)
+
+// WithMaxPages caps the number of pages fetched.
+func WithMaxPages(n int) CrawlerOption { return func(c *Crawler) { c.maxPages = n } }
+
+// WithDelay sets the politeness delay between requests.
+func WithDelay(d time.Duration) CrawlerOption { return func(c *Crawler) { c.delay = d } }
+
+// WithPathFilter restricts the crawl to URLs whose path has the given prefix.
+func WithPathFilter(prefix string) CrawlerOption {
+	return func(c *Crawler) { c.pathPrefix = prefix }
+}
+
+// WithClient sets the HTTP client (the default has a 10s timeout).
+func WithClient(client *http.Client) CrawlerOption { return func(c *Crawler) { c.client = client } }
+
+// Crawler is a polite, same-host, breadth-first crawler.
+type Crawler struct {
+	client     *http.Client
+	maxPages   int
+	delay      time.Duration
+	pathPrefix string
+
+	mu      sync.Mutex
+	visited map[string]bool
+}
+
+// NewCrawler builds a crawler with the given options.
+func NewCrawler(opts ...CrawlerOption) *Crawler {
+	c := &Crawler{
+		client:   &http.Client{Timeout: 10 * time.Second},
+		maxPages: 10000,
+		visited:  make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Crawl fetches start and every same-host page reachable from it, breadth
+// first, honoring the page cap and path filter. Pages are returned in fetch
+// order. Non-2xx responses are recorded but not followed.
+func (c *Crawler) Crawl(ctx context.Context, start string) ([]*Page, error) {
+	base, err := url.Parse(start)
+	if err != nil {
+		return nil, fmt.Errorf("scrape: bad start url %q: %w", start, err)
+	}
+	if base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("scrape: start url %q must be absolute", start)
+	}
+
+	queue := []string{base.String()}
+	c.markVisited(base.String())
+	var pages []*Page
+	first := true
+	for len(queue) > 0 && len(pages) < c.maxPages {
+		if err := ctx.Err(); err != nil {
+			return pages, err
+		}
+		next := queue[0]
+		queue = queue[1:]
+		if !first && c.delay > 0 {
+			select {
+			case <-time.After(c.delay):
+			case <-ctx.Done():
+				return pages, ctx.Err()
+			}
+		}
+		first = false
+		page, err := c.fetch(ctx, next)
+		if err != nil {
+			return pages, fmt.Errorf("scrape: fetch %s: %w", next, err)
+		}
+		pages = append(pages, page)
+		if page.Status < 200 || page.Status >= 300 {
+			continue
+		}
+		for _, link := range c.eligibleLinks(base, next, page.Body) {
+			if c.markVisited(link) {
+				continue
+			}
+			queue = append(queue, link)
+		}
+	}
+	return pages, nil
+}
+
+// markVisited records the URL; it returns true when it was already visited.
+func (c *Crawler) markVisited(u string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.visited[u] {
+		return true
+	}
+	c.visited[u] = true
+	return false
+}
+
+func (c *Crawler) fetch(ctx context.Context, u string) (*Page, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", "faultstudy-crawler/1.0")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &Page{URL: u, Body: string(body), Status: resp.StatusCode}, nil
+}
+
+// eligibleLinks resolves and filters the links on a page: same host as base,
+// http(s), fragment-stripped, matching the path filter, deduplicated, in
+// stable order.
+func (c *Crawler) eligibleLinks(base *url.URL, pageURL, body string) []string {
+	pu, err := url.Parse(pageURL)
+	if err != nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, raw := range Links(body) {
+		lu, err := url.Parse(strings.TrimSpace(raw))
+		if err != nil {
+			continue
+		}
+		abs := pu.ResolveReference(lu)
+		abs.Fragment = ""
+		if abs.Scheme != "http" && abs.Scheme != "https" {
+			continue
+		}
+		if abs.Host != base.Host {
+			continue
+		}
+		if c.pathPrefix != "" && !strings.HasPrefix(abs.Path, c.pathPrefix) {
+			continue
+		}
+		s := abs.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

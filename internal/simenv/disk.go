@@ -1,0 +1,255 @@
+package simenv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	// ErrDiskFull is returned when a write would exceed the file-system
+	// capacity — the study's "full file system" condition.
+	ErrDiskFull = errors.New("simenv: file system full")
+	// ErrFileTooLarge is returned when a file would exceed the maximum
+	// allowed file size — the study's oversized log/database file condition.
+	ErrFileTooLarge = errors.New("simenv: file exceeds maximum allowed size")
+	// ErrNoSuchFile is returned for operations on missing files.
+	ErrNoSuchFile = errors.New("simenv: no such file")
+)
+
+// Disk is a simulated file system with a capacity limit and a per-file size
+// limit. Contents are not stored, only sizes and owner metadata — the study's
+// disk conditions are about space, not data.
+type Disk struct {
+	mu          sync.Mutex
+	capacity    int64
+	maxFileSize int64
+	used        int64
+	files       map[string]*diskFile
+}
+
+type diskFile struct {
+	size  int64
+	owner string
+	// illegalOwner marks a file whose owner field holds an illegal value —
+	// the GNOME "file has an illegal value in the owner field" trigger.
+	illegalOwner bool
+}
+
+func newDisk(capacity, maxFileSize int64) *Disk {
+	return &Disk{
+		capacity:    capacity,
+		maxFileSize: maxFileSize,
+		files:       make(map[string]*diskFile),
+	}
+}
+
+// Capacity returns the file-system capacity in bytes.
+func (d *Disk) Capacity() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.capacity
+}
+
+// SetCapacity grows or shrinks the file system (the §6.2 "automatically
+// increase the disk capacity" mitigation). Shrinking below current usage is
+// rejected.
+func (d *Disk) SetCapacity(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < d.used {
+		return fmt.Errorf("simenv: capacity %d below current usage %d", n, d.used)
+	}
+	d.capacity = n
+	return nil
+}
+
+// MaxFileSize returns the per-file size limit.
+func (d *Disk) MaxFileSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxFileSize
+}
+
+// SetMaxFileSize changes the per-file size limit (a large-file-support
+// upgrade; the §6.2 "increase the resources available" mitigation for the
+// file-size conditions).
+func (d *Disk) SetMaxFileSize(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maxFileSize = n
+}
+
+// Used returns the bytes in use.
+func (d *Disk) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Free returns the bytes available.
+func (d *Disk) Free() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.capacity - d.used
+}
+
+// Append grows the named file by n bytes, creating it if necessary. The file
+// is charged to owner on creation. Append enforces both the capacity and the
+// per-file limit; on error the file is unchanged.
+func (d *Disk) Append(name, owner string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("simenv: negative append %d to %q", n, name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[name]
+	size := int64(0)
+	if f != nil {
+		size = f.size
+	}
+	if size+n > d.maxFileSize {
+		return fmt.Errorf("append %q: %w", name, ErrFileTooLarge)
+	}
+	if d.used+n > d.capacity {
+		return fmt.Errorf("append %q: %w", name, ErrDiskFull)
+	}
+	if f == nil {
+		f = &diskFile{owner: owner}
+		d.files[name] = f
+	}
+	f.size += n
+	d.used += n
+	return nil
+}
+
+// Size returns the size of the named file.
+func (d *Disk) Size(name string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("size %q: %w", name, ErrNoSuchFile)
+	}
+	return f.size, nil
+}
+
+// Exists reports whether the named file exists.
+func (d *Disk) Exists(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// Remove deletes the named file and releases its space.
+func (d *Disk) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("remove %q: %w", name, ErrNoSuchFile)
+	}
+	d.used -= f.size
+	delete(d.files, name)
+	return nil
+}
+
+// Truncate resets the named file to zero bytes, keeping it on disk (log
+// rotation).
+func (d *Disk) Truncate(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("truncate %q: %w", name, ErrNoSuchFile)
+	}
+	d.used -= f.size
+	f.size = 0
+	return nil
+}
+
+// RemoveOwner deletes every file charged to owner and returns the bytes
+// freed. Used by clean-restart recovery to clear an application's temporary
+// files (but note: the study's disk conditions are usually *not* owned by the
+// failing application, which is why they persist).
+func (d *Disk) RemoveOwner(owner string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var freed int64
+	for name, f := range d.files {
+		if f.owner == owner {
+			freed += f.size
+			d.used -= f.size
+			delete(d.files, name)
+		}
+	}
+	return freed
+}
+
+// Files returns the file names in sorted order.
+func (d *Disk) Files() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetIllegalOwner marks the file's owner field as holding an illegal value —
+// the GNOME host-config trigger. Applications that parse the owner field
+// observe the flag through IllegalOwner.
+func (d *Disk) SetIllegalOwner(name string, illegal bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("set illegal owner %q: %w", name, ErrNoSuchFile)
+	}
+	f.illegalOwner = illegal
+	return nil
+}
+
+// IllegalOwner reports whether the file's owner field is illegal.
+func (d *Disk) IllegalOwner(name string) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return false, fmt.Errorf("illegal owner %q: %w", name, ErrNoSuchFile)
+	}
+	return f.illegalOwner, nil
+}
+
+// FillFrom consumes free space down to the given remaining byte count,
+// charging the fill to owner — a convenience for staging "full file system"
+// conditions caused by other tenants of the machine.
+func (d *Disk) FillFrom(owner string, remaining int64) error {
+	d.mu.Lock()
+	free := d.capacity - d.used
+	d.mu.Unlock()
+	if free <= remaining {
+		return nil
+	}
+	n := free - remaining
+	// The filler file must itself respect the per-file limit; spread across
+	// numbered files.
+	i := 0
+	for n > 0 {
+		chunk := n
+		if chunk > d.MaxFileSize() {
+			chunk = d.MaxFileSize()
+		}
+		name := fmt.Sprintf("/var/fill/%s.%d", owner, i)
+		if err := d.Append(name, owner, chunk); err != nil {
+			return err
+		}
+		n -= chunk
+		i++
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Hits: 36, N: 50}
+	if math.Abs(p.Value()-0.72) > 1e-9 {
+		t.Errorf("Value = %v", p.Value())
+	}
+	if p.Percent() != "72%" {
+		t.Errorf("Percent = %q", p.Percent())
+	}
+	zero := Proportion{}
+	if zero.Value() != 0 {
+		t.Error("empty proportion should be 0")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	p := Proportion{Hits: 7, N: 50}
+	lo, hi := p.Wilson()
+	if lo >= p.Value() || hi <= p.Value() {
+		t.Errorf("interval [%v,%v] does not bracket %v", lo, hi, p.Value())
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("interval [%v,%v] out of [0,1]", lo, hi)
+	}
+	// Empty sample spans everything.
+	lo, hi = Proportion{}.Wilson()
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval [%v,%v]", lo, hi)
+	}
+	// Extreme proportions stay clamped.
+	lo, hi = Proportion{Hits: 50, N: 50}.Wilson()
+	if hi > 1 || lo > 1 || lo < 0 {
+		t.Errorf("clamped interval [%v,%v]", lo, hi)
+	}
+}
+
+// Property: Wilson intervals shrink as N grows at a fixed ratio.
+func TestWilsonShrinksProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		n := int(k)%100 + 2
+		small := Proportion{Hits: n / 2, N: n}
+		big := Proportion{Hits: n * 5, N: n * 10}
+		slo, shi := small.Wilson()
+		blo, bhi := big.Wilson()
+		return (bhi - blo) <= (shi - slo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareIndependence(t *testing.T) {
+	// Perfectly proportional table: chi2 ~ 0.
+	chi2, dof := ChiSquare([][]float64{{10, 20}, {20, 40}})
+	if chi2 > 1e-9 {
+		t.Errorf("proportional table chi2 = %v", chi2)
+	}
+	if dof != 1 {
+		t.Errorf("dof = %d", dof)
+	}
+	// Strong association: chi2 large.
+	chi2, _ = ChiSquare([][]float64{{30, 0}, {0, 30}})
+	if chi2 < 30 {
+		t.Errorf("diagonal table chi2 = %v, want large", chi2)
+	}
+	// Degenerate inputs.
+	if c, d := ChiSquare(nil); c != 0 || d != 0 {
+		t.Error("nil table should be zero")
+	}
+	if c, d := ChiSquare([][]float64{{0, 0}}); c != 0 || d != 0 {
+		t.Error("zero table should be zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"class", "count"}}
+	tbl.Add("environment-independent", "36")
+	tbl.Add("edt", "7")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "class") || !strings.Contains(lines[2], "36") {
+		t.Errorf("unexpected rendering:\n%s", out)
+	}
+	// Columns align: header and separator equal width.
+	if len(lines[1]) < len("class")+len("count") {
+		t.Errorf("separator too short: %q", lines[1])
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	out := StackedBars(
+		[]string{"1.3.0", "1.3.4"},
+		[]StackedSeries{
+			{Label: "EI", Glyph: '#', Counts: []int{4, 10}},
+			{Label: "EDT", Glyph: '+', Counts: []int{1, 2}},
+		})
+	if !strings.Contains(out, "####") {
+		t.Errorf("missing EI bar:\n%s", out)
+	}
+	if !strings.Contains(out, "++") {
+		t.Errorf("missing EDT bar:\n%s", out)
+	}
+	if !strings.Contains(out, "#=EI") || !strings.Contains(out, "+=EDT") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, " 12\n") {
+		t.Errorf("missing bucket total:\n%s", out)
+	}
+}

@@ -1,0 +1,105 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The taxonomy enums marshal as their canonical names, not integers: the
+// serialized corpus is a data contract for downstream consumers, and names
+// survive reordering of the constants.
+
+// MarshalJSON encodes the class as its canonical name.
+func (c FaultClass) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON decodes a class name (any accepted spelling).
+func (c *FaultClass) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("taxonomy: fault class: %w", err)
+	}
+	v, err := ParseClass(s)
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
+// MarshalJSON encodes the trigger as its canonical name.
+func (k TriggerKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a trigger name.
+func (k *TriggerKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("taxonomy: trigger kind: %w", err)
+	}
+	v, err := ParseTrigger(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// MarshalJSON encodes the symptom as its canonical name.
+func (s Symptom) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a symptom name.
+func (s *Symptom) UnmarshalJSON(data []byte) error {
+	var raw string
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("taxonomy: symptom: %w", err)
+	}
+	v, err := ParseSymptom(raw)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// MarshalJSON encodes the severity as its canonical name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a severity name (any accepted spelling).
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var raw string
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("taxonomy: severity: %w", err)
+	}
+	v, err := ParseSeverity(raw)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// MarshalJSON encodes the application as its canonical name.
+func (a Application) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// UnmarshalJSON decodes an application name.
+func (a *Application) UnmarshalJSON(data []byte) error {
+	var raw string
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("taxonomy: application: %w", err)
+	}
+	v, err := ParseApplication(raw)
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package workload generates realistic operation streams for the three
+// simulated applications: HTTP request mixes for the web server, SQL
+// statement streams for the database, and interaction streams for the
+// desktop. The generators are seeded and deterministic; the benchmarks and
+// the rejuvenation ablation use them to drive healthy and fault-laden
+// instances at scale.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faultstudy/internal/apps/desktop"
+	"faultstudy/internal/apps/httpd"
+)
+
+// HTTPMix weights the request categories of the web workload.
+type HTTPMix struct {
+	// Static is the weight of plain document requests.
+	Static int
+	// Listing is the weight of directory listings.
+	Listing int
+	// CGI is the weight of CGI requests.
+	CGI int
+	// Proxy is the weight of proxied requests.
+	Proxy int
+	// NotFound is the weight of requests for missing documents.
+	NotFound int
+}
+
+// DefaultHTTPMix approximates a 1999 site: mostly static pages with a little
+// of everything else.
+func DefaultHTTPMix() HTTPMix {
+	return HTTPMix{Static: 70, Listing: 10, CGI: 10, Proxy: 5, NotFound: 5}
+}
+
+func (m HTTPMix) total() int { return m.Static + m.Listing + m.CGI + m.Proxy + m.NotFound }
+
+// HTTPRequests generates n requests with the given mix.
+func HTTPRequests(seed int64, mix HTTPMix, n int) []httpd.Request {
+	if mix.total() == 0 {
+		mix = DefaultHTTPMix()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]httpd.Request, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Intn(mix.total())
+		switch {
+		case r < mix.Static:
+			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/index.html"})
+		case r < mix.Static+mix.Listing:
+			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/pub/"})
+		case r < mix.Static+mix.Listing+mix.CGI:
+			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/cgi-bin/env"})
+		case r < mix.Static+mix.Listing+mix.CGI+mix.Proxy:
+			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/proxy/page"})
+		default:
+			reqs = append(reqs, httpd.Request{Method: "GET", Path: fmt.Sprintf("/missing-%d", i)})
+		}
+	}
+	return reqs
+}
+
+// SQLStatements generates a CREATE/INSERT/SELECT/UPDATE/DELETE stream over a
+// single table. The first statements create and index the table; the rest
+// are drawn from the mix. All statements are valid against the schema.
+func SQLStatements(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	stmts := []string{
+		"CREATE TABLE load (k INT, payload TEXT)",
+		"CREATE INDEX load_k ON load (k)",
+	}
+	inserted := 0
+	for len(stmts) < n {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // 40% inserts
+			inserted++
+			stmts = append(stmts, fmt.Sprintf("INSERT INTO load VALUES (%d, 'p%d')", inserted, inserted))
+		case 4, 5, 6: // 30% selects
+			stmts = append(stmts, fmt.Sprintf("SELECT * FROM load WHERE k <= %d ORDER BY k LIMIT 10", rng.Intn(inserted+1)))
+		case 7: // counts
+			stmts = append(stmts, "SELECT COUNT(*) FROM load")
+		case 8: // updates
+			stmts = append(stmts, fmt.Sprintf("UPDATE load SET payload = 'u' WHERE k = %d", rng.Intn(inserted+1)))
+		default: // deletes
+			stmts = append(stmts, fmt.Sprintf("DELETE FROM load WHERE k = %d", rng.Intn(inserted+1)))
+		}
+	}
+	return stmts
+}
+
+// DesktopEvents generates a stream of benign desktop interactions.
+func DesktopEvents(seed int64, n int) []desktop.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]desktop.Event, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			evs = append(evs, desktop.Event{Widget: "calendar", Action: "next"})
+		case 1:
+			evs = append(evs, desktop.Event{Widget: "gnumeric", Action: "set-cell",
+				Arg: fmt.Sprintf("A%d=%d", i%100, rng.Intn(1000))})
+		case 2:
+			evs = append(evs, desktop.Event{Widget: "gmc", Action: "open", Arg: "notes.txt"})
+		case 3:
+			evs = append(evs, desktop.Event{Widget: "panel", Action: "open-main-menu"})
+		case 4:
+			evs = append(evs, desktop.Event{Widget: "panel", Action: "click-desktop"})
+		default:
+			evs = append(evs, desktop.Event{Widget: "session", Action: "play-sound"})
+		}
+	}
+	return evs
+}
