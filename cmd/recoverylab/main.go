@@ -8,6 +8,8 @@
 //	recoverylab -mechanism httpd/dns-error      # one fault, all strategies
 //	recoverylab -lee93                          # the Tandem reconciliation
 //	recoverylab -ablate                         # retry + rejuvenation ablations
+//	recoverylab -soak -ops 500 -faults 3        # supervised soak of all three apps
+//	recoverylab -supervised                     # matrix with the supervision column
 package main
 
 import (
@@ -39,6 +41,11 @@ func run() error {
 		sensitive = flag.Bool("sensitivity", false, "run the classifier sensitivity sweep")
 		trace     = flag.Bool("trace", false, "print each recovery step (with -mechanism)")
 		load      = flag.Bool("load", false, "run the ops-to-failure load sweep")
+		soak      = flag.Bool("soak", false, "soak all three apps under supervision with random faults active")
+		ops       = flag.Int("ops", 300, "base workload length per app (with -soak)")
+		nfaults   = flag.Int("faults", 3, "seeded mechanisms activated per app (with -soak)")
+		supCol    = flag.Bool("supervised", false, "add the supervision-layer column to the matrix")
+		grow      = flag.Bool("grow", true, "let the supervisor apply the resource governor")
 	)
 	flag.Parse()
 
@@ -55,6 +62,19 @@ func run() error {
 
 	if *mechanism != "" {
 		return runOne(*mechanism, policy, *seed)
+	}
+	if *soak {
+		results, err := faultstudy.RunSoak(faultstudy.SoakConfig{
+			Ops:       *ops,
+			Faults:    *nfaults,
+			Seed:      *seed,
+			Supervise: faultstudy.SupervisorConfig{GrowResources: *grow},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(faultstudy.RenderSoak(results))
+		return nil
 	}
 	if *load {
 		points, err := experiment.RunOpsToFailure(5000, *seed)
@@ -99,6 +119,11 @@ func run() error {
 	matrix, err := faultstudy.RunRecoveryMatrix(policy, *seed)
 	if err != nil {
 		return err
+	}
+	if *supCol {
+		if err := matrix.AddSupervised(*seed, faultstudy.SupervisorConfig{GrowResources: *grow}); err != nil {
+			return err
+		}
 	}
 	fmt.Print(matrix)
 	if *lee93 {

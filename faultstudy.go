@@ -41,6 +41,7 @@ import (
 	"faultstudy/internal/faultinject"
 	"faultstudy/internal/recovery"
 	"faultstudy/internal/report"
+	"faultstudy/internal/supervise"
 	"faultstudy/internal/taxonomy"
 )
 
@@ -207,6 +208,36 @@ func NewRecoveryManager(policy RecoveryPolicy) *recovery.Manager {
 func BuildScenario(mechanism string, seed int64) (RecoverableApp, Scenario, error) {
 	return experiment.BuildScenario(mechanism, seed)
 }
+
+// Supervision layer (the operator's story over generic recovery).
+type (
+	// Supervisor keeps an application serving a workload while faults fire.
+	Supervisor = supervise.Supervisor
+	// SupervisorConfig tunes a Supervisor.
+	SupervisorConfig = supervise.Config
+	// SupervisorReport is the accounting of one supervised run.
+	SupervisorReport = supervise.Report
+	// SupervisedOp is one supervised workload operation.
+	SupervisedOp = supervise.Op
+	// SoakConfig tunes the sustained-workload soak run.
+	SoakConfig = experiment.SoakConfig
+	// SoakResult is one application's soak outcome.
+	SoakResult = experiment.SoakResult
+	// SupervisorVerdict grades one supervised run in the matrix.
+	SupervisorVerdict = experiment.SupervisorVerdict
+)
+
+// NewSupervisor builds a supervisor over a recoverable application.
+func NewSupervisor(app RecoverableApp, cfg SupervisorConfig) *Supervisor {
+	return supervise.New(app, cfg)
+}
+
+// RunSoak drives all three applications under sustained workload with a
+// random subset of seeded bugs active, each under a supervisor.
+func RunSoak(cfg SoakConfig) ([]SoakResult, error) { return experiment.RunSoak(cfg) }
+
+// RenderSoak formats soak results, one supervisor report per application.
+func RenderSoak(results []SoakResult) string { return experiment.RenderSoak(results) }
 
 // RecoveryMatrix is the full recovery-verification experiment.
 type RecoveryMatrix = experiment.Matrix

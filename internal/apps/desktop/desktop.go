@@ -42,6 +42,7 @@ type Desktop struct {
 
 	mu       sync.Mutex
 	running  bool
+	degraded bool
 	soundFDs []simenv.FD
 
 	// Logical state (travels through Snapshot/Restore).
@@ -69,6 +70,22 @@ func (d *Desktop) Name() string { return Owner }
 
 // Env returns the session's environment.
 func (d *Desktop) Env() *simenv.Env { return d.env }
+
+// SetDegraded toggles degraded mode: the session keeps navigating and
+// rendering but silently drops effects that consume environment resources
+// (sound sockets), so a session out of descriptors stays interactive.
+func (d *Desktop) SetDegraded(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.degraded = on
+}
+
+// Degraded reports whether degraded mode is on.
+func (d *Desktop) Degraded() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
 
 // Running reports whether the session is up.
 func (d *Desktop) Running() bool {
@@ -313,6 +330,11 @@ func (d *Desktop) gmcEvent(ev Event) error {
 func (d *Desktop) sessionEvent(ev Event) error {
 	switch ev.Action {
 	case "play-sound":
+		if d.degraded {
+			// Degraded mode: the event succeeds silently without opening a
+			// sound socket.
+			return nil
+		}
 		fd, err := d.env.FDs().Open(Owner)
 		if err != nil {
 			if d.faults.Enabled(MechSoundSocketLeak) {

@@ -92,6 +92,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	running  bool
+	degraded bool
 	logFDs   []simenv.FD
 	leakFDs  []simenv.FD
 	children []simenv.PID
@@ -137,6 +138,23 @@ func (s *Server) Name() string { return Owner }
 
 // Env returns the server's environment (for scenario staging).
 func (s *Server) Env() *simenv.Env { return s.env }
+
+// SetDegraded toggles degraded mode: the server keeps serving static content
+// but suspends every disk-write and child-process path — access logging,
+// proxy-cache stores, and CGI children. This is what lets a server on a full
+// file system or an exhausted process table keep answering reads.
+func (s *Server) SetDegraded(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.degraded = on
+}
+
+// Degraded reports whether degraded mode is on.
+func (s *Server) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
 
 // Running reports whether the server is started.
 func (s *Server) Running() bool {
@@ -339,8 +357,11 @@ func (s *Server) Serve(req Request) (Response, error) {
 	// Logging: a healthy server rotates on an oversized log; the seeded bug
 	// fails instead. A full file system fails the write either way, but only
 	// the active mechanism reports it as the application failure under test.
-	if err := s.logRequest(); err != nil {
-		return Response{}, err
+	// Degraded mode suspends logging entirely — reads outlive a full disk.
+	if !s.degraded {
+		if err := s.logRequest(); err != nil {
+			return Response{}, err
+		}
 	}
 
 	if resp, err, done := s.serveContent(req); done {
@@ -454,6 +475,10 @@ func (s *Server) logRequest() error {
 func (s *Server) serveContent(req Request) (Response, error, bool) {
 	// Proxy cache writes.
 	if strings.HasPrefix(req.Path, "/proxy/") {
+		if s.degraded {
+			// Degraded mode serves uncached rather than touching the disk.
+			return Response{Status: 200, Body: "proxied content"}, nil, true
+		}
 		if err := s.env.Disk().Append(cacheFile, Owner, 4096); err != nil {
 			if s.faults.Enabled(MechDiskCacheFull) {
 				return Response{}, faultinject.FailCause(MechDiskCacheFull, taxonomy.SymptomError,
@@ -491,6 +516,11 @@ func (s *Server) serveContent(req Request) (Response, error, bool) {
 
 func (s *Server) spawnChildIfNeeded(req Request) error {
 	if !strings.HasPrefix(req.Path, "/cgi-bin/") {
+		return nil
+	}
+	if s.degraded {
+		// Degraded mode spawns no children: the cached CGI output is served
+		// without touching the (possibly exhausted) process table.
 		return nil
 	}
 	pid, err := s.env.Procs().Spawn(Owner)

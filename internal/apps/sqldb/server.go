@@ -25,6 +25,7 @@ type Server struct {
 
 	mu          sync.Mutex
 	running     bool
+	degraded    bool
 	tables      map[string]*table
 	lockedTable string
 	connections map[int]string // conn id -> client address
@@ -51,6 +52,25 @@ func (s *Server) Name() string { return Owner }
 
 // Env returns the server's environment.
 func (s *Server) Env() *simenv.Env { return s.env }
+
+// ErrReadOnly rejects writes while the server is degraded.
+var ErrReadOnly = errors.New("sqldb: server is read-only (degraded mode)")
+
+// SetDegraded toggles degraded mode: the server answers SELECTs but rejects
+// every mutating statement with ErrReadOnly, so a database whose environment
+// can no longer absorb writes still serves reads.
+func (s *Server) SetDegraded(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.degraded = on
+}
+
+// Degraded reports whether degraded mode is on.
+func (s *Server) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
 
 // Running reports whether the server is up.
 func (s *Server) Running() bool {
@@ -182,6 +202,9 @@ func (s *Server) Exec(sql string) (*ResultSet, error) {
 	defer s.mu.Unlock()
 	if !s.running {
 		return nil, errors.New("sqldb: not running")
+	}
+	if s.degraded && st.Kind != StmtSelect {
+		return nil, ErrReadOnly
 	}
 	s.queries++
 	// The signal-mask race: under connection churn a signal can arrive in

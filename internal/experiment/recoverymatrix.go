@@ -20,6 +20,9 @@ type FaultOutcome struct {
 	Class taxonomy.FaultClass
 	// Survived maps each strategy to its outcome.
 	Survived map[recovery.Strategy]bool
+	// Supervised is the supervision-layer verdict, when AddSupervised has
+	// been run (VerdictNone otherwise).
+	Supervised SupervisorVerdict
 }
 
 // Matrix is the full recovery-verification experiment: every corpus fault run
@@ -74,11 +77,23 @@ func (m *Matrix) String() string {
 	for _, s := range m.Strategies {
 		tbl.Header = append(tbl.Header, s.String())
 	}
+	supervised := m.HasSupervised()
+	if supervised {
+		tbl.Header = append(tbl.Header, "supervised")
+	}
 	for _, c := range taxonomy.Classes() {
 		row := []string{c.String(), fmt.Sprint(m.Rate(m.Strategies[0], c).N)}
 		for _, s := range m.Strategies {
 			r := m.Rate(s, c)
 			row = append(row, fmt.Sprintf("%d/%d (%s)", r.Hits, r.N, r.Percent()))
+		}
+		if supervised {
+			r, degraded := m.SupervisedRate(c)
+			cell := fmt.Sprintf("%d/%d (%s)", r.Hits, r.N, r.Percent())
+			if degraded > 0 {
+				cell += fmt.Sprintf(" [%d degr]", degraded)
+			}
+			row = append(row, cell)
 		}
 		tbl.Add(row...)
 	}

@@ -1,0 +1,368 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"faultstudy/internal/apps/desktop"
+	"faultstudy/internal/apps/httpd"
+	"faultstudy/internal/apps/sqldb"
+	"faultstudy/internal/faultinject"
+	"faultstudy/internal/simenv"
+	"faultstudy/internal/stats"
+	"faultstudy/internal/supervise"
+	"faultstudy/internal/taxonomy"
+	"faultstudy/internal/workload"
+)
+
+// SupervisorVerdict grades one supervised run for the matrix: unlike the
+// bare strategies' binary survived/lost, the supervisor has a middle outcome
+// — everything was served or deliberately shed, but at degraded service.
+type SupervisorVerdict int
+
+const (
+	// VerdictNone means the supervisor was not run for this fault.
+	VerdictNone SupervisorVerdict = iota
+	// VerdictServed means every op was served at full service.
+	VerdictServed
+	// VerdictDegraded means no op was lost but the run ended degraded.
+	VerdictDegraded
+	// VerdictLost means at least one op was abandoned.
+	VerdictLost
+)
+
+// String names the verdict.
+func (v SupervisorVerdict) String() string {
+	switch v {
+	case VerdictNone:
+		return "-"
+	case VerdictServed:
+		return "served"
+	case VerdictDegraded:
+		return "degraded"
+	case VerdictLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("SupervisorVerdict(%d)", int(v))
+	}
+}
+
+// verdictOf grades a supervisor report.
+func verdictOf(rep *supervise.Report) SupervisorVerdict {
+	switch {
+	case !rep.Served():
+		return VerdictLost
+	case rep.Degraded:
+		return VerdictDegraded
+	default:
+		return VerdictServed
+	}
+}
+
+// opKindFor classifies a scenario or workload op name for degraded-mode
+// shedding: conservative name-based heuristics per application namespace.
+func opKindFor(mechanism, name string) supervise.OpKind {
+	switch {
+	case strings.HasPrefix(mechanism, "httpd/"):
+		if strings.Contains(name, "/proxy/") || strings.Contains(name, "/cgi-bin/") ||
+			strings.Contains(name, "SIGHUP") || strings.Contains(name, "restart") {
+			return supervise.OpWrite
+		}
+		return supervise.OpRead
+	case strings.HasPrefix(mechanism, "sqldb/"):
+		if strings.HasPrefix(name, "SELECT") {
+			return supervise.OpRead
+		}
+		return supervise.OpWrite
+	case strings.HasPrefix(mechanism, "desktop/"):
+		if strings.Contains(name, "play-sound") || strings.Contains(name, "set-cell") {
+			return supervise.OpWrite
+		}
+		return supervise.OpRead
+	default:
+		return supervise.OpRead
+	}
+}
+
+// wrapScenarioOps converts scenario trigger ops into supervised ops.
+func wrapScenarioOps(mechanism string, ops []faultinject.Op) []supervise.Op {
+	out := make([]supervise.Op, 0, len(ops))
+	for _, op := range ops {
+		out = append(out, supervise.Op{Name: op.Name, Kind: opKindFor(mechanism, op.Name), Do: op.Do})
+	}
+	return out
+}
+
+// AddSupervised runs every corpus fault's scenario under a supervisor and
+// records each verdict in the matrix, adding the paper-extension column that
+// compares supervision against the bare one-shot strategies. Each fault gets
+// a fresh environment and application, like the strategy runs.
+func (m *Matrix) AddSupervised(seed int64, cfg supervise.Config) error {
+	for i := range m.PerFault {
+		fo := &m.PerFault[i]
+		app, sc, err := BuildScenario(fo.Mechanism, seed)
+		if err != nil {
+			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
+		}
+		// Start before staging, like the bare-strategy runs: the staged
+		// environmental condition hits a running application.
+		if err := app.Start(); err != nil {
+			return fmt.Errorf("experiment: supervised %s: start: %w", fo.FaultID, err)
+		}
+		if sc.Stage != nil {
+			sc.Stage()
+		}
+		sup := supervise.New(app, cfg)
+		rep, err := sup.Run(wrapScenarioOps(fo.Mechanism, sc.Ops))
+		if err != nil {
+			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
+		}
+		fo.Supervised = verdictOf(rep)
+	}
+	return nil
+}
+
+// HasSupervised reports whether the supervisor column has been filled in.
+func (m *Matrix) HasSupervised() bool {
+	for _, fo := range m.PerFault {
+		if fo.Supervised != VerdictNone {
+			return true
+		}
+	}
+	return false
+}
+
+// SupervisedRate returns the not-lost proportion (served or degraded) over
+// faults of one class (all classes when class is ClassUnknown), plus how
+// many of the hits were degraded.
+func (m *Matrix) SupervisedRate(class taxonomy.FaultClass) (p stats.Proportion, degraded int) {
+	for _, fo := range m.PerFault {
+		if fo.Supervised == VerdictNone {
+			continue
+		}
+		if class != taxonomy.ClassUnknown && fo.Class != class {
+			continue
+		}
+		p.N++
+		switch fo.Supervised {
+		case VerdictServed:
+			p.Hits++
+		case VerdictDegraded:
+			p.Hits++
+			degraded++
+		}
+	}
+	return p, degraded
+}
+
+// SoakConfig tunes the sustained-workload soak run.
+type SoakConfig struct {
+	// Ops is the base workload length per application (0 means 300).
+	Ops int
+	// Faults is how many seeded mechanisms are activated per application,
+	// drawn at random from its catalogue (0 means 3).
+	Faults int
+	// Seed drives mechanism selection, workloads, and environments.
+	Seed int64
+	// Supervise tunes the supervisor; its Seed is defaulted from Seed.
+	Supervise supervise.Config
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Ops <= 0 {
+		c.Ops = 300
+	}
+	if c.Faults <= 0 {
+		c.Faults = 3
+	}
+	if c.Supervise.Seed == 0 {
+		c.Supervise.Seed = c.Seed
+	}
+	return c
+}
+
+// SoakResult is one application's soak outcome.
+type SoakResult struct {
+	// App is the simulated application.
+	App taxonomy.Application
+	// Mechanisms lists the seeded bugs activated, sorted.
+	Mechanisms []string
+	// Report is the supervisor's accounting.
+	Report *supervise.Report
+}
+
+// pickMechanisms draws n distinct mechanism keys for the app from the
+// registry with the given generator.
+func pickMechanisms(app taxonomy.Application, n int, rng *rand.Rand) []string {
+	var keys []string
+	for _, mech := range Registry().ByApp(app) {
+		keys = append(keys, mech.Key)
+	}
+	sort.Strings(keys)
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	if n > len(keys) {
+		n = len(keys)
+	}
+	keys = keys[:n]
+	sort.Strings(keys)
+	return keys
+}
+
+// interleave inserts each trigger stream into the base stream at a random
+// position at or past min, preserving each stream's internal order.
+func interleave(base []supervise.Op, triggers [][]supervise.Op, min int, rng *rand.Rand) []supervise.Op {
+	out := base
+	for _, ts := range triggers {
+		at := min
+		if len(out) > min {
+			at = min + rng.Intn(len(out)-min+1)
+		}
+		merged := make([]supervise.Op, 0, len(out)+len(ts))
+		merged = append(merged, out[:at]...)
+		merged = append(merged, ts...)
+		merged = append(merged, out[at:]...)
+		out = merged
+	}
+	return out
+}
+
+// RunSoak drives all three applications under sustained workload with a
+// random subset of their seeded bugs active — the supervision layer's
+// integration exercise. Each application gets a fresh environment, the
+// chosen mechanisms' environmental preconditions are staged, their trigger
+// ops are interleaved into the base workload at random positions, and the
+// supervisor keeps the service running as they fire. Deterministic in Seed.
+func RunSoak(cfg SoakConfig) ([]SoakResult, error) {
+	cfg = cfg.withDefaults()
+	var results []SoakResult
+
+	runApp := func(app taxonomy.Application, f func(rng *rand.Rand, mechs []string) (*supervise.Report, error)) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(app)))
+		mechs := pickMechanisms(app, cfg.Faults, rng)
+		rep, err := f(rng, mechs)
+		if err != nil {
+			return err
+		}
+		results = append(results, SoakResult{App: app, Mechanisms: mechs, Report: rep})
+		return nil
+	}
+
+	// Apache httpd.
+	if err := runApp(taxonomy.AppApache, func(rng *rand.Rand, mechs []string) (*supervise.Report, error) {
+		env := simenv.New(cfg.Seed, simenv.WithFDLimit(256), simenv.WithProcLimit(192))
+		srv := httpd.New(env, faultinject.NewSet(mechs...), httpd.Config{})
+		if err := srv.Start(); err != nil {
+			return nil, fmt.Errorf("experiment: soak start: %w", err)
+		}
+		scenarios := httpd.Scenarios(srv)
+		var triggers [][]supervise.Op
+		for _, mech := range mechs {
+			sc, ok := scenarios[mech]
+			if !ok {
+				continue
+			}
+			if sc.Stage != nil {
+				sc.Stage()
+			}
+			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
+		}
+		base := make([]supervise.Op, 0, cfg.Ops)
+		for _, req := range workload.HTTPRequests(cfg.Seed, workload.DefaultHTTPMix(), cfg.Ops) {
+			req := req
+			name := req.Method + " " + req.Path
+			base = append(base, supervise.Op{Name: name, Kind: opKindFor("httpd/", name), Do: func() error {
+				_, err := srv.Serve(req)
+				return err
+			}})
+		}
+		sup := supervise.New(srv, cfg.Supervise)
+		return sup.Run(interleave(base, triggers, 0, rng))
+	}); err != nil {
+		return nil, err
+	}
+
+	// MySQL-like database.
+	if err := runApp(taxonomy.AppMySQL, func(rng *rand.Rand, mechs []string) (*supervise.Report, error) {
+		env := simenv.New(cfg.Seed, simenv.WithFDLimit(256))
+		db := sqldb.New(env, faultinject.NewSet(mechs...))
+		if err := db.Start(); err != nil {
+			return nil, fmt.Errorf("experiment: soak start: %w", err)
+		}
+		scenarios := sqldb.Scenarios(db)
+		var triggers [][]supervise.Op
+		for _, mech := range mechs {
+			sc, ok := scenarios[mech]
+			if !ok {
+				continue
+			}
+			if sc.Stage != nil {
+				sc.Stage()
+			}
+			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
+		}
+		base := make([]supervise.Op, 0, cfg.Ops)
+		for _, stmt := range workload.SQLStatements(cfg.Seed, cfg.Ops) {
+			stmt := stmt
+			base = append(base, supervise.Op{Name: stmt, Kind: opKindFor("sqldb/", stmt), Do: func() error {
+				_, err := db.Exec(stmt)
+				return err
+			}})
+		}
+		// Keep the schema-creating statements first.
+		sup := supervise.New(db, cfg.Supervise)
+		return sup.Run(interleave(base, triggers, 2, rng))
+	}); err != nil {
+		return nil, err
+	}
+
+	// GNOME-like desktop.
+	if err := runApp(taxonomy.AppGnome, func(rng *rand.Rand, mechs []string) (*supervise.Report, error) {
+		env := simenv.New(cfg.Seed, simenv.WithFDLimit(256))
+		d := desktop.New(env, faultinject.NewSet(mechs...))
+		if err := d.Start(); err != nil {
+			return nil, fmt.Errorf("experiment: soak start: %w", err)
+		}
+		scenarios := desktop.Scenarios(d)
+		var triggers [][]supervise.Op
+		for _, mech := range mechs {
+			sc, ok := scenarios[mech]
+			if !ok {
+				continue
+			}
+			if sc.Stage != nil {
+				sc.Stage()
+			}
+			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
+		}
+		base := make([]supervise.Op, 0, cfg.Ops)
+		for _, ev := range workload.DesktopEvents(cfg.Seed, cfg.Ops) {
+			ev := ev
+			name := ev.Widget + " " + ev.Action
+			base = append(base, supervise.Op{Name: name, Kind: opKindFor("desktop/", name), Do: func() error {
+				return d.Dispatch(ev)
+			}})
+		}
+		sup := supervise.New(d, cfg.Supervise)
+		return sup.Run(interleave(base, triggers, 0, rng))
+	}); err != nil {
+		return nil, err
+	}
+
+	return results, nil
+}
+
+// RenderSoak formats the soak results, one report per application.
+func RenderSoak(results []SoakResult) string {
+	var b strings.Builder
+	for i, r := range results {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "=== %s soak (%d mechanisms active: %s) ===\n",
+			r.App, len(r.Mechanisms), strings.Join(r.Mechanisms, ", "))
+		b.WriteString(r.Report.String())
+	}
+	return b.String()
+}

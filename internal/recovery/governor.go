@@ -24,9 +24,13 @@ func growResources(env *simenv.Env, fe *faultinject.FailureError) bool {
 		env.FDs().SetLimit(env.FDs().Limit() * 2)
 		return true
 	case errors.Is(fe, simenv.ErrProcTableFull):
-		// Process pairs already clears this by killing the hung children,
-		// but the governor's growth path works too.
-		return true
+		// Grow the process table so new children fit alongside the hung ones.
+		// (Process pairs clears this differently — by killing the children —
+		// but the governor's contract is to grow the resource, and returning
+		// true without growing anything would silently retry into the same
+		// full table.)
+		t := env.Procs()
+		return t.SetLimit(t.Limit()*2) == nil
 	case errors.Is(fe, simenv.ErrDiskFull):
 		return env.Disk().SetCapacity(env.Disk().Capacity()*2) == nil
 	case errors.Is(fe, simenv.ErrFileTooLarge):
@@ -40,4 +44,11 @@ func growResources(env *simenv.Env, fe *faultinject.FailureError) bool {
 	default:
 		return false
 	}
+}
+
+// GrowResources exposes the §6.2 resource governor to other layers (the
+// supervisor applies it before each recovery action). It returns true when a
+// growable environment limit matching the failure's cause was widened.
+func GrowResources(env *simenv.Env, fe *faultinject.FailureError) bool {
+	return growResources(env, fe)
 }

@@ -179,10 +179,12 @@ type TraceEvent struct {
 }
 
 func (p Policy) withDefaults() Policy {
-	if p.MaxRetries == 0 {
+	// Negative values are configuration mistakes, not requests for "retry
+	// minus-one times": clamp them to the defaults alongside the zero value.
+	if p.MaxRetries <= 0 {
 		p.MaxRetries = 3
 	}
-	if p.Takeover == 0 {
+	if p.Takeover <= 0 {
 		p.Takeover = 45 * time.Second
 	}
 	return p

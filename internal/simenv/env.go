@@ -57,6 +57,7 @@ type Env struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	now      time.Time
+	start    time.Time
 	hostname string
 
 	fds     *FDTable
@@ -84,9 +85,11 @@ func New(seed int64, opts ...Option) *Env {
 		o(&cfg)
 	}
 	rng := rand.New(rand.NewSource(seed))
+	epoch := time.Date(1999, 10, 1, 0, 0, 0, 0, time.UTC)
 	e := &Env{
 		rng:      rng,
-		now:      time.Date(1999, 10, 1, 0, 0, 0, 0, time.UTC),
+		now:      epoch,
+		start:    epoch,
 		hostname: cfg.hostname,
 	}
 	e.fds = newFDTable(cfg.fdLimit)
@@ -140,6 +143,18 @@ func (e *Env) Now() time.Time {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.now
+}
+
+// Monotonic returns how far the virtual clock has advanced since the
+// environment was created — a monotonic reading that only Advance moves.
+// Supervision layers use it for crash-loop windows, retry budgets, and
+// breaker cooldowns, so those policies are deterministic under test: two
+// environments built with the same seed advance their monotonic clocks
+// identically.
+func (e *Env) Monotonic() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now.Sub(e.start)
 }
 
 // Advance moves the virtual clock forward and lets time-healing components

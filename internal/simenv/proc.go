@@ -73,6 +73,19 @@ func (t *ProcTable) Limit() int {
 	return t.limit
 }
 
+// SetLimit grows or shrinks the process table (the §6.2 "automatically
+// increase the resources available" mitigation applied to process slots).
+// Shrinking below current occupancy is rejected.
+func (t *ProcTable) SetLimit(n int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < len(t.procs) {
+		return fmt.Errorf("simenv: proc limit %d below current occupancy %d", n, len(t.procs))
+	}
+	t.limit = n
+	return nil
+}
+
 // InUse returns the number of occupied slots (running, hung, and zombie).
 func (t *ProcTable) InUse() int {
 	t.mu.Lock()

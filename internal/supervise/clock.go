@@ -1,0 +1,34 @@
+package supervise
+
+import (
+	"time"
+
+	"faultstudy/internal/simenv"
+)
+
+// Clock is the supervisor's view of time. Backoff sleeps, retry-budget
+// windows, crash-loop detection, and breaker cooldowns all read it, so a
+// deterministic clock makes the whole supervision policy deterministic —
+// the property the tests rely on.
+type Clock interface {
+	// Now returns a monotonic reading.
+	Now() time.Duration
+	// Sleep advances time by d. For the environment-backed clock this also
+	// lets time-healing conditions (DNS outages, slow links, drained
+	// entropy) progress, which is exactly what a backoff is for.
+	Sleep(d time.Duration)
+}
+
+// EnvClock adapts a simulated environment's virtual clock: Now reads
+// Env.Monotonic and Sleep calls Env.Advance. Two environments built with the
+// same seed drive identical supervision schedules.
+type EnvClock struct {
+	// Env is the environment whose clock is exposed.
+	Env *simenv.Env
+}
+
+// Now returns the environment's monotonic reading.
+func (c EnvClock) Now() time.Duration { return c.Env.Monotonic() }
+
+// Sleep advances the environment's virtual clock.
+func (c EnvClock) Sleep(d time.Duration) { c.Env.Advance(d) }

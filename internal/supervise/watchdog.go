@@ -1,0 +1,92 @@
+package supervise
+
+import (
+	"fmt"
+	"time"
+
+	"faultstudy/internal/faultinject"
+	"faultstudy/internal/taxonomy"
+)
+
+// WatchdogError is the watchdog's verdict on an operation that blocked past
+// the wall-clock budget: the application is hung, and the supervisor treats
+// the op as failed rather than waiting forever. This is how the paper's
+// "application hangs" symptom class becomes recoverable under supervision.
+type WatchdogError struct {
+	// Op is the operation abandoned.
+	Op string
+	// Timeout is the wall-clock budget that was exceeded.
+	Timeout time.Duration
+}
+
+// Error describes the timeout.
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("supervise: watchdog: %q still blocked after %s", e.Op, e.Timeout)
+}
+
+// panicError wraps a panic recovered from an operation so it flows through
+// the ladder like any other crash symptom.
+type panicError struct {
+	op    string
+	value any
+}
+
+// Error describes the recovered panic.
+func (e *panicError) Error() string {
+	return fmt.Sprintf("supervise: panic in %q: %v", e.op, e.value)
+}
+
+// runOp invokes the operation with a panic guard: a panicking op becomes a
+// *panicError failure instead of taking the supervisor down.
+func (s *Supervisor) runOp(op Op) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicError{op: op.Name, value: v}
+		}
+	}()
+	return op.Do()
+}
+
+// execute runs one operation under the watchdog. Simulated operations return
+// promptly even when they model a hang (the hang is a symptom on the error),
+// so by default the watchdog charges the virtual clock for hang symptoms and
+// moves on. When WallTimeout is positive, a goroutine-backed wall-clock
+// watchdog additionally abandons operations that genuinely block.
+func (s *Supervisor) execute(op Op) error {
+	var err error
+	if s.cfg.WallTimeout <= 0 {
+		err = s.runOp(op)
+	} else {
+		done := make(chan error, 1)
+		go func() { done <- s.runOp(op) }()
+		select {
+		case err = <-done:
+		case <-time.After(s.cfg.WallTimeout):
+			// The op's goroutine is abandoned; its buffered channel lets it
+			// finish without leaking a blocked sender.
+			s.report.mech(MechWatchdog).WatchdogTimeouts++
+			werr := &WatchdogError{Op: op.Name, Timeout: s.cfg.WallTimeout}
+			s.trace(Event{Kind: EventWatchdog, Op: op.Name, Mechanism: MechWatchdog, Err: werr})
+			return werr
+		}
+	}
+	if err != nil {
+		s.chargeHang(op, err)
+	}
+	return err
+}
+
+// chargeHang advances the virtual clock by the watchdog timeout when a
+// failure reports the hang symptom: in the modeled world the application sat
+// unresponsive until the watchdog expired, and every time-dependent policy
+// (backoff windows, breaker cooldowns, time-healing faults) should see that
+// time pass.
+func (s *Supervisor) chargeHang(op Op, err error) {
+	fe, ok := faultinject.AsFailure(err)
+	if !ok || fe.Symptom != taxonomy.SymptomHang {
+		return
+	}
+	s.clock.Sleep(s.cfg.WatchdogTimeout)
+	s.report.mech(fe.Mechanism).WatchdogTimeouts++
+	s.trace(Event{Kind: EventWatchdog, Op: op.Name, Mechanism: fe.Mechanism, Err: err})
+}
