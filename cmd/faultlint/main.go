@@ -1,0 +1,92 @@
+// Command faultlint runs the environment-dependence analyzer suite over Go
+// packages and gates on the findings: it exits 0 when every gating finding
+// is suppressed or absent, 1 when active non-advisory findings remain, and 2
+// on usage or load errors — the contract the CI job relies on. Advisory
+// findings (envsite's classification of seeded fault sites) are reported
+// but never fail the gate.
+//
+// Usage:
+//
+//	faultlint [flags] [packages]
+//
+//	faultlint ./...                  # whole module
+//	faultlint -json ./internal/...   # machine-readable report
+//	faultlint -rules envcheck,wallclock ./cmd/...
+//	faultlint -list                  # describe the analyzers
+//
+// Packages are directories or dir/... trees relative to the working
+// directory. Findings are suppressed in source with
+// //faultlint:ignore <rule> [reason] on or above the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"faultstudy/internal/faultlint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit the JSON report (schema in EXPERIMENTS.md)")
+		rules   = flag.String("rules", "", "comma-separated analyzer subset (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		verbose = flag.Bool("v", false, "include suppressed findings in text output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range faultlint.Analyzers() {
+			fmt.Printf("%-12s [%s] %s\n", a.Name, a.Class.Short(), a.Doc)
+		}
+		return 0
+	}
+
+	var ruleList []string
+	if *rules != "" {
+		for _, r := range strings.Split(*rules, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				ruleList = append(ruleList, r)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultlint:", err)
+		return 2
+	}
+	pkgs, err := faultlint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultlint:", err)
+		return 2
+	}
+	result, err := faultlint.Run(pkgs, ruleList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultlint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		data, err := faultlint.RenderJSON(result)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultlint:", err)
+			return 2
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(faultlint.RenderText(result, *verbose))
+	}
+
+	if len(result.Gating()) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -21,6 +21,10 @@ import (
 	"faultstudy/internal/taxonomy"
 )
 
+// now is the injectable wall-clock read (the faultlint wallclock pattern):
+// the CLI's progress timing goes through this seam so tests can pin it.
+var now = time.Now
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "faultstudy:", err)
@@ -62,7 +66,7 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	start := time.Now()
+	start := now()
 
 	if *appOnly != "" {
 		return runSingle(ctx, *appOnly, sources, *verbose)
@@ -72,7 +76,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mined, narrowed and classified in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("mined, narrowed and classified in %v\n\n", now().Sub(start).Round(time.Millisecond))
 
 	for _, app := range []faultstudy.Application{faultstudy.AppApache, faultstudy.AppGnome, faultstudy.AppMySQL} {
 		r := res.Apps[app]

@@ -10,6 +10,7 @@
 //	recoverylab -ablate                         # retry + rejuvenation ablations
 //	recoverylab -soak -ops 500 -faults 3        # supervised soak of all three apps
 //	recoverylab -supervised                     # matrix with the supervision column
+//	recoverylab -lint                           # faultlint static classification vs seeded truth
 package main
 
 import (
@@ -45,6 +46,7 @@ func run() error {
 		ops       = flag.Int("ops", 300, "base workload length per app (with -soak)")
 		nfaults   = flag.Int("faults", 3, "seeded mechanisms activated per app (with -soak)")
 		supCol    = flag.Bool("supervised", false, "add the supervision-layer column to the matrix")
+		lint      = flag.Bool("lint", false, "validate faultlint's static classification against the registry")
 		grow      = flag.Bool("grow", true, "let the supervisor apply the resource governor")
 	)
 	flag.Parse()
@@ -62,6 +64,18 @@ func run() error {
 
 	if *mechanism != "" {
 		return runOne(*mechanism, policy, *seed)
+	}
+	if *lint {
+		root, err := experiment.ModuleRoot()
+		if err != nil {
+			return err
+		}
+		report, err := experiment.RunLint(root)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+		return nil
 	}
 	if *soak {
 		results, err := faultstudy.RunSoak(faultstudy.SoakConfig{

@@ -22,6 +22,11 @@ import (
 	"faultstudy"
 )
 
+// now is the injectable wall-clock read; the example only times its own
+// progress, but keeping the seam means faultlint's wallclock rule holds
+// everywhere outside the clock-owning packages.
+var now = time.Now
+
 func main() {
 	// Serve the simulated tracker on loopback.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -37,12 +42,12 @@ func main() {
 	// Mine it the way the study did.
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	start := time.Now()
+	start := now()
 	raw, err := faultstudy.MineApache(ctx, base)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("crawled and parsed %d problem reports in %v\n", len(raw), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("crawled and parsed %d problem reports in %v\n", len(raw), now().Sub(start).Round(time.Millisecond))
 
 	// Narrow and classify.
 	res := faultstudy.ClassifyReports(raw, faultstudy.StudyOptions{})

@@ -123,7 +123,7 @@ func Scenarios(d *Desktop) map[string]faultinject.Scenario {
 		MechIllegalOwner: {
 			Description: "a file's owner field holds an illegal value",
 			Stage: func() {
-				_ = env.Disk().Append("/home/user/broken.txt", "user", 10)
+				_ = env.Disk().Append("/home/user/broken.txt", "user", 10) //faultlint:ignore envcheck staging the corrupt file is the point
 				_ = env.Disk().SetIllegalOwner("/home/user/broken.txt", true)
 			},
 			Ops: []faultinject.Op{ev("gmc", "properties", "/home/user/broken.txt")},

@@ -71,7 +71,7 @@ func Scenarios(srv *Server) map[string]faultinject.Scenario {
 			Description: "the proxy cache partition fills up",
 			Stage: func() {
 				// Another tenant of the cache partition leaves little room.
-				_ = env.Disk().FillFrom("cache-tenant", 6*4096)
+				_ = env.Disk().FillFrom("cache-tenant", 6*4096) //faultlint:ignore envcheck staging the hostile environment is the point
 			},
 			Ops: getN("/proxy/page", 10),
 		},
@@ -80,13 +80,13 @@ func Scenarios(srv *Server) map[string]faultinject.Scenario {
 			Stage: func() {
 				_ = env.Disk().SetCapacity(1 << 30)
 				// Pre-grow the log to just under the per-file limit.
-				_ = env.Disk().Append(accessLog, Owner, env.Disk().MaxFileSize()-200)
+				_ = env.Disk().Append(accessLog, Owner, env.Disk().MaxFileSize()-200) //faultlint:ignore envcheck staging the hostile environment is the point
 			},
 			Ops: getN("/index.html", 4),
 		},
 		MechFSFull: {
 			Description: "another tenant fills the file system",
-			Stage:       func() { _ = env.Disk().FillFrom("other-tenant", 64) },
+			Stage:       func() { _ = env.Disk().FillFrom("other-tenant", 64) }, //faultlint:ignore envcheck staging the hostile environment is the point
 			Ops:         getN("/index.html", 3),
 		},
 		MechNetResource: {
@@ -94,7 +94,7 @@ func Scenarios(srv *Server) map[string]faultinject.Scenario {
 			Stage: func() {
 				env.Net().SetResourceCap(8)
 				for i := 0; i < 8; i++ {
-					_ = env.Net().AcquireResource() // held by another process
+					_ = env.Net().AcquireResource() //faultlint:ignore envcheck held by another process: staging the exhaustion
 				}
 			},
 			Ops: getN("/index.html", 3),

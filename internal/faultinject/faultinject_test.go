@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"faultstudy/internal/taxonomy"
@@ -104,5 +105,52 @@ func TestFailureErrorUnwrap(t *testing.T) {
 	}
 	if fe.Error() == "" {
 		t.Error("empty error text")
+	}
+}
+
+func TestRegistryErrorPaths(t *testing.T) {
+	r := NewRegistry()
+	base := Mechanism{Key: "app/one", App: taxonomy.AppApache, Trigger: taxonomy.TriggerDiskFull, Description: "d"}
+	if err := r.Register(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate keys carry the offending key in the error.
+	err := r.Register(base)
+	if err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if !strings.Contains(err.Error(), "app/one") {
+		t.Errorf("duplicate error does not name the key: %v", err)
+	}
+
+	// Empty keys are rejected before the map is touched.
+	if err := r.Register(Mechanism{App: taxonomy.AppApache}); err == nil {
+		t.Error("empty key accepted")
+	}
+	if got := len(r.Keys()); got != 1 {
+		t.Errorf("failed registrations mutated the registry: %d keys", got)
+	}
+
+	// MustRegister panics on the same errors and registers otherwise.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRegister(duplicate) did not panic")
+			}
+		}()
+		r.MustRegister(base)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRegister(empty key) did not panic")
+			}
+		}()
+		r.MustRegister(Mechanism{})
+	}()
+	r.MustRegister(Mechanism{Key: "app/two", App: taxonomy.AppApache, Trigger: taxonomy.TriggerRace})
+	if _, ok := r.Lookup("app/two"); !ok {
+		t.Error("MustRegister(fresh key) did not register")
 	}
 }

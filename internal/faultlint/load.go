@@ -1,0 +1,232 @@
+package faultlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (best-effort) type-checked package.
+type Package struct {
+	// Dir is the directory the files were read from.
+	Dir string
+	// Name is the package clause name.
+	Name string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// FileNames maps each *ast.File to the path it was parsed from.
+	FileNames map[*ast.File]string
+	// Fset is the file set the files were parsed into.
+	Fset *token.FileSet
+	// Info carries the best-effort type information (Defs, Uses, Types).
+	// Imports resolve through a stub importer, so cross-package selections
+	// are unresolved; package-local objects and constants are reliable.
+	Info *types.Info
+	// TypeErrors collects the (expected, tolerated) type-check errors.
+	TypeErrors []error
+
+	// consts maps package-level constant names to their string literal
+	// values, as a syntactic fallback when type info is unavailable.
+	consts map[string]string
+}
+
+// stubImporter satisfies go/types.Importer by fabricating an empty package
+// for every import path. The type checker then records package-name uses and
+// tolerates (via the soft error handler) the unresolved member lookups. This
+// keeps faultlint hermetic: no export data, no module resolution, no go
+// command.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	// "math/rand/v2"-style paths name the package after the parent element.
+	if strings.HasPrefix(name, "v") && len(name) > 1 && name[1] >= '0' && name[1] <= '9' {
+		trimmed := path[:len(path)-len(name)-1]
+		if i := strings.LastIndexByte(trimmed, '/'); i >= 0 {
+			name = trimmed[i+1:]
+		} else {
+			name = trimmed
+		}
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	if si.pkgs == nil {
+		si.pkgs = make(map[string]*types.Package)
+	}
+	si.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir parses and best-effort type-checks the non-test Go files of one
+// directory as a single package. Directories with no Go files return
+// (nil, nil).
+func LoadDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("faultlint: read %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	pkg := &Package{
+		Dir:       dir,
+		Fset:      fset,
+		FileNames: make(map[*ast.File]string, len(names)),
+		consts:    make(map[string]string),
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("faultlint: parse %s: %w", path, err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		if f.Name.Name != pkg.Name {
+			// Mixed-package directory (rare outside GOPATH-era layouts):
+			// keep the majority clause, skip strays.
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.FileNames[f] = path
+	}
+	pkg.typecheck()
+	pkg.collectConsts()
+	return pkg, nil
+}
+
+// typecheck runs go/types in tolerant mode with stub imports.
+func (p *Package) typecheck() {
+	p.Info = &types.Info{
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{
+		Importer:         &stubImporter{},
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	// The checker returns an error when any soft error occurred; that is
+	// expected with stub imports, so only the collected Info matters.
+	_, _ = conf.Check(p.Dir, p.Fset, p.Files, p.Info)
+}
+
+// collectConsts records package-level string constants syntactically so
+// mechanism keys resolve even where type checking gave up.
+func (p *Package) collectConsts() {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if v, err := strconv.Unquote(lit.Value); err == nil {
+							p.consts[name.Name] = v
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Load expands the patterns (plain directories or "dir/..." trees) relative
+// to root and loads every package found. Hidden directories, testdata,
+// and vendor trees are skipped.
+func Load(root string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	var pkgs []*Package
+	addDir := func(dir string) error {
+		clean := filepath.Clean(dir)
+		if seen[clean] {
+			return nil
+		}
+		seen[clean] = true
+		pkg, err := LoadDir(fset, clean)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !recursive {
+			if err := addDir(base); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			return addDir(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}

@@ -1,0 +1,169 @@
+package faultlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"faultstudy/internal/taxonomy"
+)
+
+// sharedmut flags writes to package-level mutable state from functions that
+// also spawn goroutines, when the writing function takes no lock. This is a
+// deliberately lightweight static shadow of the race detector: the paper's
+// EDT faults are dominated by exactly this shape — shared state whose
+// consistency depends on scheduling interleavings ("races" in §5's trigger
+// list). The heuristic does not prove a race; it marks the sites where one
+// is cheapest to create.
+//
+// Vars of synchronization-aware types (sync.*, atomic.*, channels) are
+// skipped, as are blank and error-sentinel vars (Err* / err* names bound
+// once at init).
+var sharedmutAnalyzer = &Analyzer{
+	Name:  "sharedmut",
+	Doc:   "package-level mutable state written in a goroutine-spawning function without a lock",
+	Class: taxonomy.ClassEnvDependentTransient,
+	Run:   runSharedmut,
+}
+
+// typeLooksGuarded reports whether a type expression denotes state that is
+// safe (or intended) for concurrent use.
+func typeLooksGuarded(expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.ChanType:
+			guarded = true
+		case *ast.SelectorExpr:
+			if id, ok := t.X.(*ast.Ident); ok && (id.Name == "sync" || id.Name == "atomic") {
+				guarded = true
+			}
+		case *ast.Ident:
+			if strings.Contains(t.Name, "Mutex") || strings.Contains(t.Name, "Once") {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// packageMutableVars collects the names of package-level vars that are
+// plausibly shared mutable state.
+func packageMutableVars(pkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || typeLooksGuarded(vs.Type) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if strings.HasPrefix(name.Name, "Err") || strings.HasPrefix(name.Name, "err") {
+						continue // error sentinels: written once, by convention
+					}
+					// Values that are guarded types inferred from the
+					// initializer (e.g. `var mu = &sync.Mutex{}`).
+					if vs.Type == nil && i < len(vs.Values) && typeLooksGuarded(vs.Values[i]) {
+						continue
+					}
+					out[name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcSpawnsGoroutine reports whether the body contains a go statement.
+func funcSpawnsGoroutine(body *ast.BlockStmt) bool {
+	spawns := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+		}
+		return !spawns
+	})
+	return spawns
+}
+
+// funcTakesLock reports whether the body calls a Lock/RLock method.
+func funcTakesLock(body *ast.BlockStmt) bool {
+	locks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch callName(call) {
+			case "Lock", "RLock", "TryLock", "Do":
+				locks = true
+			}
+		}
+		return !locks
+	})
+	return locks
+}
+
+// isPackageLevelUse reports whether the identifier resolves to a
+// package-scope object (when type info is available); without type info the
+// syntactic name-set answer stands.
+func isPackageLevelUse(pkg *Package, id *ast.Ident) bool {
+	if obj, ok := pkg.Info.Uses[id]; ok && obj.Parent() != nil {
+		if obj.Pkg() == nil {
+			return false
+		}
+		return obj.Parent() == obj.Pkg().Scope()
+	}
+	return true // fall back to the syntactic candidate set
+}
+
+func runSharedmut(p *Pass) {
+	shared := packageMutableVars(p.Pkg)
+	if len(shared) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "init" {
+				continue
+			}
+			if !funcSpawnsGoroutine(fd.Body) || funcTakesLock(fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var target ast.Expr
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					if s.Tok == token.DEFINE {
+						break // := declares locals; any same-named var is a shadow
+					}
+					for _, lhs := range s.Lhs {
+						if id, isIdent := lhs.(*ast.Ident); isIdent && shared[id.Name] && isPackageLevelUse(p.Pkg, id) {
+							target = lhs
+						}
+					}
+				case *ast.IncDecStmt:
+					if id, isIdent := s.X.(*ast.Ident); isIdent && shared[id.Name] && isPackageLevelUse(p.Pkg, id) {
+						target = s.X
+					}
+				}
+				if target != nil {
+					p.Reportf(target.Pos(),
+						"package-level %s written in goroutine-spawning %s without a lock; scheduling interleavings decide the outcome",
+						target.(*ast.Ident).Name, fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package faultlint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses findings:
+//
+//	//faultlint:ignore <rule>[,<rule>...] [reason]
+//
+// The directive covers diagnostics on its own line and on the line
+// immediately following it, so it works both trailing and preceding:
+//
+//	_ = env.Disk().Truncate(log) //faultlint:ignore envcheck best-effort rotate
+//
+//	//faultlint:ignore wallclock CLI progress timing only
+//	start := time.Now()
+const ignoreDirective = "faultlint:ignore"
+
+// suppression is one parsed ignore comment.
+type suppression struct {
+	rules  map[string]bool // nil means all rules
+	reason string
+}
+
+func (s suppression) covers(rule string) bool {
+	return s.rules == nil || s.rules[rule]
+}
+
+// parseIgnore parses the directive text after "//". Returns ok=false for
+// non-directive comments.
+func parseIgnore(text string) (suppression, bool) {
+	text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(text, ignoreDirective) {
+		return suppression{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+	if rest == "" {
+		// Bare directive: suppress everything on the line.
+		return suppression{}, true
+	}
+	fields := strings.Fields(rest)
+	ruleList := fields[0]
+	reason := strings.TrimSpace(strings.TrimPrefix(rest, ruleList))
+	sup := suppression{reason: reason}
+	if ruleList != "all" && ruleList != "*" {
+		sup.rules = make(map[string]bool)
+		for _, r := range strings.Split(ruleList, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				sup.rules[r] = true
+			}
+		}
+	}
+	return sup, true
+}
+
+// suppressionIndex maps file -> line -> suppressions in force on that line.
+type suppressionIndex struct {
+	byFile map[string]map[int][]suppression
+}
+
+func newSuppressionIndex() *suppressionIndex {
+	return &suppressionIndex{byFile: make(map[string]map[int][]suppression)}
+}
+
+// collect scans every comment of the package for ignore directives. A
+// directive on line N covers lines N and N+1.
+func (x *suppressionIndex) collect(pkg *Package) {
+	for _, f := range pkg.Files {
+		name := pkg.FileNames[f]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				sup, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				m := x.byFile[name]
+				if m == nil {
+					m = make(map[int][]suppression)
+					x.byFile[name] = m
+				}
+				m[line] = append(m[line], sup)
+				m[line+1] = append(m[line+1], sup)
+			}
+		}
+	}
+}
+
+// apply marks the diagnostics covered by collected directives.
+func (x *suppressionIndex) apply(diags []Diagnostic) {
+	for i := range diags {
+		d := &diags[i]
+		for _, sup := range x.byFile[d.File][d.Line] {
+			if sup.covers(d.Rule) {
+				d.Suppressed = true
+				d.SuppressReason = sup.reason
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package envcheck is a fixture: discarded errors from environment-dependent
+// acquire operations, plus the release and checked shapes that must not fire.
+package envcheck
+
+import (
+	"net"
+	"os"
+)
+
+type fds struct{}
+
+func (fds) Open(name string) (int, error) { return 0, nil }
+func (fds) Close(fd int) error            { return nil }
+
+type sim struct{}
+
+func (sim) FDs() fds { return fds{} }
+
+func leak(env sim) {
+	_, _ = env.FDs().Open("sock") // want EDN
+}
+
+func fine(env sim) error {
+	fd, err := env.FDs().Open("sock")
+	if err != nil {
+		return err
+	}
+	_ = env.FDs().Close(fd) // release op: idiomatic cleanup, not flagged
+	return nil
+}
+
+func stdlib() {
+	_, _ = os.Open("config")        // want EDN
+	_, _ = net.Listen("tcp", ":80") // want EDN
+}
+
+func checked() error {
+	f, err := os.Open("config")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package envsite is a fixture: seeded fault-raise sites under each
+// environmental-facility shape the analyzer classifies.
+package envsite
+
+import (
+	"sim/faultinject"
+)
+
+const (
+	mechDisk = "app/disk-full"
+	mechDNS  = "app/dns-error"
+)
+
+type disk struct{}
+
+func (disk) Append(name string, n int) error { return nil }
+
+type dns struct{}
+
+func (dns) Lookup(host string) (string, error) { return "", nil }
+
+type sim struct{}
+
+func (sim) Disk() disk       { return disk{} }
+func (sim) DNS() dns         { return dns{} }
+func (sim) Hostname() string { return "" }
+
+// fill raises behind a persistent-condition facility: predicted EDN.
+func fill(env sim) error {
+	if err := env.Disk().Append("wal", 4096); err != nil {
+		return faultinject.Fail(mechDisk, "crash", "disk full") // want EDN
+	}
+	return nil
+}
+
+// resolve raises behind a self-healing facility: predicted EDT.
+func resolve(env sim, host string) error {
+	addr, err := env.DNS().Lookup(host)
+	if err != nil || addr == "" {
+		return faultinject.Fail(mechDNS, "hang", "no address") // want EDT
+	}
+	return nil
+}
+
+// greet raises behind a direct env method (host configuration): EDN.
+func greet(env sim) error {
+	name := env.Hostname()
+	if name == "" {
+		return faultinject.Fail("app/hostname", "wrong", "empty hostname") // want EDN
+	}
+	return nil
+}
+
+// compute raises with no environment operation in scope: workload-only EI.
+func compute(n int) error {
+	if n > 10 {
+		return faultinject.Fail("app/bounds", "wrong", "overflow") // want EI
+	}
+	return nil
+}
+
+// wrap raises through FailCause with no visible facility: the
+// persistent-condition prior applies (EDN).
+func wrap(err error) error {
+	if err != nil {
+		return faultinject.FailCause("app/fs", "crash", "io", err) // want EDN
+	}
+	return nil
+}
+
+// template is the template-bug pattern: the mechanism key is computed, so
+// attribution comes from the enclosing case clause.
+func template(key string) error {
+	switch key {
+	case "app/null-deref", "app/bad-init":
+		return faultinject.Fail(key, "crash", "template bug") // want EI
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package rawrand is a fixture: draws from the global math/rand source,
+// against the seeded-generator shape that must not fire.
+package rawrand
+
+import "math/rand"
+
+func roll() int {
+	return rand.Intn(6) // want EDT
+}
+
+func noise() float64 {
+	return rand.Float64() // want EDT
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

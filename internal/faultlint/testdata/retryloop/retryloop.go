@@ -1,0 +1,53 @@
+// Package retryloop is a fixture: blind retry of environment-dependent
+// operations, against the paced shapes that must not fire.
+package retryloop
+
+import "time"
+
+type disk struct{}
+
+func (disk) Append(name string, n int) error { return nil }
+
+type sim struct{}
+
+func (sim) Disk() disk { return disk{} }
+
+// storm retries a persistent-condition operation with no pacing.
+func storm(env sim) {
+	for i := 0; i < 5; i++ { // want EDN
+		if err := env.Disk().Append("wal", 1); err != nil {
+			continue
+		}
+		return
+	}
+}
+
+// until spins on the error in the loop condition.
+func until(env sim) error {
+	err := env.Disk().Append("wal", 1)
+	for err != nil { // want EDN
+		err = env.Disk().Append("wal", 1)
+	}
+	return err
+}
+
+// paced backs off between attempts: acceptable.
+func paced(env sim) {
+	for i := 0; i < 5; i++ {
+		if err := env.Disk().Append("wal", 1); err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		return
+	}
+}
+
+// bounded never retries on error: acceptable.
+func bounded(env sim) error {
+	for i := 0; i < 5; i++ {
+		if err := env.Disk().Append("wal", 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

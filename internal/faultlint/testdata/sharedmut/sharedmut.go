@@ -1,0 +1,44 @@
+// Package sharedmut is a fixture: package-level mutable state written from
+// goroutine-spawning functions, against the locked and local shapes that
+// must not fire.
+package sharedmut
+
+import "sync"
+
+var hits int
+
+var total int
+
+var mu sync.Mutex
+
+// record writes shared state while spawning a reader: interleavings decide.
+func record() {
+	go func() { _ = hits }()
+	hits++ // want EDT
+}
+
+// assign stores into shared state next to a spawn.
+func assign(n int) {
+	go func() { _ = total }()
+	total = n // want EDT
+}
+
+// recordLocked takes the lock first: acceptable.
+func recordLocked() {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {}()
+	total++
+}
+
+// shadow declares a local with the same name: not a shared write.
+func shadow() {
+	go func() {}()
+	hits := 0
+	_ = hits
+}
+
+// serial never spawns: whatever it writes is single-threaded here.
+func serial() {
+	hits++
+}

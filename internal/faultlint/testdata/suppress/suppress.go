@@ -1,0 +1,22 @@
+// Package suppress is a fixture for the ignore-directive machinery: trailing
+// and preceding directives, wildcard rules, and one finding left active.
+package suppress
+
+import "time"
+
+func trailing() {
+	time.Sleep(time.Millisecond) //faultlint:ignore wallclock deliberate demo pacing
+}
+
+func preceding() time.Time {
+	//faultlint:ignore all covers the next line
+	return time.Now()
+}
+
+func wrongRule() {
+	time.Sleep(time.Millisecond) //faultlint:ignore rawrand does not cover wallclock
+}
+
+func active() time.Time {
+	return time.Now() // want EDT
+}

@@ -1,0 +1,44 @@
+// Package swallowfail is a fixture: caught FailureErrors dropped without
+// reclassification, against the propagating handlers that must not fire.
+package swallowfail
+
+import (
+	"errors"
+	"fmt"
+
+	"sim/faultinject"
+)
+
+// swallow catches and returns success: the failure's class is erased.
+func swallow(err error) error {
+	if fe, ok := faultinject.AsFailure(err); ok { // want EDN
+		_ = fe
+		return nil
+	}
+	return err
+}
+
+// swallowAs blanks the error through the errors.As shape.
+func swallowAs(err error) error {
+	var fe *faultinject.FailureError
+	if errors.As(err, &fe) { // want EDN
+		err = nil
+	}
+	return err
+}
+
+// reclassify wraps the failure into a new error: propagation, not flagged.
+func reclassify(err error) error {
+	if fe, ok := faultinject.AsFailure(err); ok {
+		return fmt.Errorf("shutting down: %w", fe)
+	}
+	return err
+}
+
+// rethrow returns the failure unchanged: propagation, not flagged.
+func rethrow(err error) error {
+	if fe, ok := faultinject.AsFailure(err); ok {
+		return fe
+	}
+	return nil
+}

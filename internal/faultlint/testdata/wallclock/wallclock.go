@@ -1,0 +1,25 @@
+// Package wallclock is a fixture: direct wall-clock calls, against the
+// injectable-clock value reference that must not fire.
+package wallclock
+
+import "time"
+
+// now is the injection point: referencing time.Now as a value is the
+// sanctioned pattern and must not be flagged.
+var now = time.Now
+
+func stamp() time.Time {
+	return time.Now() // want EDT
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want EDT
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want EDT
+}
+
+func injected() time.Time {
+	return now()
+}

@@ -87,7 +87,7 @@ func (c *Crawler) Crawl(ctx context.Context, start string) ([]*Page, error) {
 		queue = queue[1:]
 		if !first && c.delay > 0 {
 			select {
-			case <-time.After(c.delay):
+			case <-time.After(c.delay): //faultlint:ignore wallclock politeness delay against a real HTTP server; ctx bounds it
 			case <-ctx.Done():
 				return pages, ctx.Err()
 			}

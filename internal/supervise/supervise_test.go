@@ -511,3 +511,40 @@ func TestRungAndEventNames(t *testing.T) {
 		t.Error("report header missing")
 	}
 }
+
+func TestBackoffInjectedRandReproducible(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		b := newBackoff(10*time.Millisecond, 500*time.Millisecond, 0.5, seededRand(seed))
+		out := make([]time.Duration, 0, 6)
+		for i := 1; i <= 6; i++ {
+			out = append(out, b.next(i))
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	c := mk(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jittered sequences")
+	}
+}
+
+func TestBackoffNilRandDisablesJitter(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 500*time.Millisecond, 0.5, nil)
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	for i, w := range want {
+		if got := b.next(i + 1); got != w {
+			t.Errorf("attempt %d: delay %v, want exact %v (nil rng must mean no jitter)", i+1, got, w)
+		}
+	}
+}

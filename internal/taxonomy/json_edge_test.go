@@ -1,0 +1,108 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONUnknownClassRoundTrip: the zero (unclassified) value is a legal
+// corpus state — it must survive serialization, and the "unknown" spelling
+// must parse back to it for every enum that admits one.
+func TestJSONUnknownClassRoundTrip(t *testing.T) {
+	data, err := json.Marshal(ClassUnknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"unknown"` {
+		t.Fatalf("ClassUnknown marshals as %s, want \"unknown\"", data)
+	}
+	var c FaultClass = ClassEnvIndependent
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c != ClassUnknown {
+		t.Errorf("round trip of unknown class = %v", c)
+	}
+	// The empty spelling is the documented alias for unclassified.
+	if err := json.Unmarshal([]byte(`""`), &c); err != nil {
+		t.Errorf(`"" should parse as the unknown class: %v`, err)
+	}
+
+	var k TriggerKind = TriggerRace
+	if err := json.Unmarshal([]byte(`"unknown"`), &k); err != nil {
+		t.Fatalf(`trigger "unknown": %v`, err)
+	}
+	if k != TriggerUnknownKind {
+		t.Errorf("trigger round trip = %v", k)
+	}
+}
+
+// TestJSONInvalidStringsRejected: every enum decoder must reject an
+// unrecognized name with an error that names the offending value, not
+// silently coerce it to the zero value.
+func TestJSONInvalidStringsRejected(t *testing.T) {
+	bad := []byte(`"sideways"`)
+	var (
+		c  FaultClass
+		k  TriggerKind
+		sy Symptom
+		sv Severity
+		a  Application
+	)
+	for name, err := range map[string]error{
+		"class":       json.Unmarshal(bad, &c),
+		"trigger":     json.Unmarshal(bad, &k),
+		"symptom":     json.Unmarshal(bad, &sy),
+		"severity":    json.Unmarshal(bad, &sv),
+		"application": json.Unmarshal(bad, &a),
+	} {
+		if err == nil {
+			t.Errorf("%s: %s accepted", name, bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "sideways") {
+			t.Errorf("%s: error does not name the bad value: %v", name, err)
+		}
+	}
+}
+
+// TestJSONNonStringPayloadsRejected: integers and objects are type errors
+// for every enum — the wire format is names only.
+func TestJSONNonStringPayloadsRejected(t *testing.T) {
+	for _, payload := range []string{`17`, `{"name":"race"}`, `true`} {
+		var (
+			c  FaultClass
+			k  TriggerKind
+			sy Symptom
+			sv Severity
+			a  Application
+		)
+		targets := map[string]error{
+			"class":       json.Unmarshal([]byte(payload), &c),
+			"trigger":     json.Unmarshal([]byte(payload), &k),
+			"symptom":     json.Unmarshal([]byte(payload), &sy),
+			"severity":    json.Unmarshal([]byte(payload), &sv),
+			"application": json.Unmarshal([]byte(payload), &a),
+		}
+		for name, err := range targets {
+			if err == nil {
+				t.Errorf("%s: payload %s accepted", name, payload)
+			}
+		}
+	}
+}
+
+// TestJSONOutOfRangeValueMarshals: an out-of-range enum value marshals as
+// its debug spelling and then fails to parse — corruption is caught at the
+// next read, not hidden.
+func TestJSONOutOfRangeValueMarshals(t *testing.T) {
+	data, err := json.Marshal(FaultClass(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c FaultClass
+	if err := json.Unmarshal(data, &c); err == nil {
+		t.Errorf("out-of-range class %s round-tripped silently", data)
+	}
+}
