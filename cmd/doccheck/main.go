@@ -1,0 +1,145 @@
+// Command doccheck enforces the documentation contract on the packages whose
+// godoc is part of the deliverable: every exported identifier — functions,
+// methods, types, constants, variables, struct fields, and interface methods
+// — must carry a doc comment. CI runs it over internal/obsv,
+// internal/supervise, and internal/recovery and fails on any finding.
+//
+// Usage:
+//
+//	doccheck ./internal/obsv ./internal/supervise ./internal/recovery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: usage: doccheck <package-dir> ...")
+		os.Exit(2)
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d packages clean\n", len(dirs))
+}
+
+// checkDir parses one package directory (tests excluded) and returns one
+// finding line per undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var findings []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		rel := p.Filename
+		if r, err := filepath.Rel(".", p.Filename); err == nil {
+			rel = r
+		}
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", rel, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), funcKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// funcKind says whether a FuncDecl is a function or a method, for messages.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl checks the specs of one const/var/type declaration.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	// A single-spec declaration may carry its doc on the GenDecl.
+	declDoc := d.Doc != nil && len(d.Specs) == 1
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && !declDoc {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			checkTypeBody(s, report)
+		case *ast.ValueSpec:
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if s.Doc == nil && s.Comment == nil && !declDoc {
+					report(name.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkTypeBody checks exported struct fields and interface methods of an
+// exported type.
+func checkTypeBody(s *ast.TypeSpec, report func(token.Pos, string, string)) {
+	if !s.Name.IsExported() {
+		return
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() && f.Doc == nil && f.Comment == nil {
+					report(name.Pos(), "field", s.Name.Name+"."+name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			for _, name := range m.Names {
+				if name.IsExported() && m.Doc == nil && m.Comment == nil {
+					report(name.Pos(), "interface method", s.Name.Name+"."+name.Name)
+				}
+			}
+		}
+	}
+}

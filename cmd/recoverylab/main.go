@@ -10,7 +10,14 @@
 //	recoverylab -ablate                         # retry + rejuvenation ablations
 //	recoverylab -soak -ops 500 -faults 3        # supervised soak of all three apps
 //	recoverylab -supervised                     # matrix with the supervision column
+//	recoverylab -supervised -metrics            # ... plus the per-class telemetry table
+//	recoverylab -soak -trace soak.jsonl         # write the episode trace as JSONL
+//	recoverylab -checktrace soak.jsonl          # validate a trace file's schema
 //	recoverylab -lint                           # faultlint static classification vs seeded truth
+//
+// The telemetry flags (-metrics, -trace, -prom, -timeline) attach the
+// observability layer (internal/obsv) to whichever experiment runs; see
+// OBSERVABILITY.md for the metric catalogue and the trace schema.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"faultstudy"
 	"faultstudy/internal/experiment"
+	"faultstudy/internal/obsv"
 	"faultstudy/internal/recovery"
 )
 
@@ -33,26 +41,42 @@ func main() {
 
 func run() error {
 	var (
-		mechanism = flag.String("mechanism", "", "run one seeded bug (e.g. httpd/dns-error)")
-		seed      = flag.Int64("seed", 42, "environment seed")
-		retries   = flag.Int("retries", 0, "retry budget per failure (0 = default 3)")
-		lee93     = flag.Bool("lee93", false, "print the Lee & Iyer reconciliation")
-		csvDir    = flag.String("csv", "", "directory to write CSV artifacts into")
-		ablate    = flag.Bool("ablate", false, "run the retry and rejuvenation ablations")
-		sensitive = flag.Bool("sensitivity", false, "run the classifier sensitivity sweep")
-		trace     = flag.Bool("trace", false, "print each recovery step (with -mechanism)")
-		load      = flag.Bool("load", false, "run the ops-to-failure load sweep")
-		soak      = flag.Bool("soak", false, "soak all three apps under supervision with random faults active")
-		ops       = flag.Int("ops", 300, "base workload length per app (with -soak)")
-		nfaults   = flag.Int("faults", 3, "seeded mechanisms activated per app (with -soak)")
-		supCol    = flag.Bool("supervised", false, "add the supervision-layer column to the matrix")
-		lint      = flag.Bool("lint", false, "validate faultlint's static classification against the registry")
-		grow      = flag.Bool("grow", true, "let the supervisor apply the resource governor")
+		mechanism  = flag.String("mechanism", "", "run one seeded bug (e.g. httpd/dns-error)")
+		seed       = flag.Int64("seed", 42, "environment seed")
+		retries    = flag.Int("retries", 0, "retry budget per failure (0 = default 3)")
+		lee93      = flag.Bool("lee93", false, "print the Lee & Iyer reconciliation")
+		csvDir     = flag.String("csv", "", "directory to write CSV artifacts into")
+		ablate     = flag.Bool("ablate", false, "run the retry and rejuvenation ablations")
+		sensitive  = flag.Bool("sensitivity", false, "run the classifier sensitivity sweep")
+		steps      = flag.Bool("steps", false, "print each recovery step (with -mechanism)")
+		load       = flag.Bool("load", false, "run the ops-to-failure load sweep")
+		soak       = flag.Bool("soak", false, "soak all three apps under supervision with random faults active")
+		ops        = flag.Int("ops", 300, "base workload length per app (with -soak)")
+		nfaults    = flag.Int("faults", 3, "seeded mechanisms activated per app (with -soak)")
+		supCol     = flag.Bool("supervised", false, "add the supervision-layer column to the matrix")
+		lint       = flag.Bool("lint", false, "validate faultlint's static classification against the registry")
+		grow       = flag.Bool("grow", true, "let the supervisor apply the resource governor")
+		metrics    = flag.Bool("metrics", false, "print the per-class recovery telemetry summary")
+		traceOut   = flag.String("trace", "", "write the fault-episode trace to this file as JSONL")
+		promOut    = flag.String("prom", "", "write the metrics registry to this file in Prometheus text format")
+		timeline   = flag.Bool("timeline", false, "print human-readable episode timelines")
+		checkTrace = flag.String("checktrace", "", "validate a JSONL episode trace file and exit")
 	)
 	flag.Parse()
 
+	if *checkTrace != "" {
+		return runCheckTrace(*checkTrace)
+	}
+
+	// The telemetry sinks are created only when some flag consumes them; a
+	// nil telemetry keeps every instrumented path on its zero-cost branch.
+	var tel *experiment.Telemetry
+	if *metrics || *traceOut != "" || *promOut != "" || *timeline {
+		tel = experiment.NewTelemetry()
+	}
+
 	policy := faultstudy.RecoveryPolicy{MaxRetries: *retries}
-	if *trace {
+	if *steps {
 		policy.Trace = func(ev recovery.TraceEvent) {
 			if ev.Err != nil {
 				fmt.Printf("    [%s] %s (attempt %d): %v\n", ev.Kind, ev.Op, ev.Attempt, ev.Err)
@@ -62,10 +86,12 @@ func run() error {
 		}
 	}
 
-	if *mechanism != "" {
-		return runOne(*mechanism, policy, *seed)
-	}
-	if *lint {
+	switch {
+	case *mechanism != "":
+		if err := runOne(*mechanism, policy, *seed, tel); err != nil {
+			return err
+		}
+	case *lint:
 		root, err := experiment.ModuleRoot()
 		if err != nil {
 			return err
@@ -75,35 +101,28 @@ func run() error {
 			return err
 		}
 		fmt.Print(report)
-		return nil
-	}
-	if *soak {
+	case *soak:
 		results, err := faultstudy.RunSoak(faultstudy.SoakConfig{
 			Ops:       *ops,
 			Faults:    *nfaults,
 			Seed:      *seed,
 			Supervise: faultstudy.SupervisorConfig{GrowResources: *grow},
+			Telemetry: tel,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println(faultstudy.RenderSoak(results))
-		return nil
-	}
-	if *load {
+	case *load:
 		points, err := experiment.RunOpsToFailure(5000, *seed)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiment.RenderOpsToFailure(points))
-		return nil
-	}
-	if *sensitive {
+	case *sensitive:
 		points := experiment.RunClassifierSensitivity([]float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0})
 		fmt.Print(experiment.RenderSensitivity(points))
-		return nil
-	}
-	if *ablate {
+	case *ablate:
 		retryAb, err := experiment.RunRetryAblation(5, *seed)
 		if err != nil {
 			return err
@@ -127,51 +146,144 @@ func run() error {
 			return err
 		}
 		fmt.Print(mitAb)
-		return nil
-	}
-
-	matrix, err := faultstudy.RunRecoveryMatrix(policy, *seed)
-	if err != nil {
-		return err
-	}
-	if *supCol {
-		if err := matrix.AddSupervised(*seed, faultstudy.SupervisorConfig{GrowResources: *grow}); err != nil {
-			return err
-		}
-	}
-	fmt.Print(matrix)
-	if *lee93 {
-		fmt.Println()
-		fmt.Print(faultstudy.CompareLee93(matrix))
-	}
-	if *csvDir != "" {
-		files, err := faultstudy.ExportArtifacts(matrix)
+	default:
+		matrix, err := faultstudy.RunRecoveryMatrix(policy, *seed)
 		if err != nil {
 			return err
 		}
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return err
-		}
-		for name, content := range files {
-			if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(content), 0o644); err != nil {
+		if *supCol {
+			cfg := faultstudy.SupervisorConfig{GrowResources: *grow}
+			if err := matrix.AddSupervisedObserved(*seed, cfg, tel); err != nil {
 				return err
 			}
 		}
-		fmt.Printf("\nwrote %d CSV artifacts to %s\n", len(files), *csvDir)
+		fmt.Print(matrix)
+		if *lee93 {
+			fmt.Println()
+			fmt.Print(faultstudy.CompareLee93(matrix))
+		}
+		if *csvDir != "" {
+			files, err := faultstudy.ExportArtifacts(matrix)
+			if err != nil {
+				return err
+			}
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			for name, content := range files {
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(content), 0o644); err != nil {
+					return err
+				}
+			}
+			fmt.Printf("\nwrote %d CSV artifacts to %s\n", len(files), *csvDir)
+		}
+	}
+
+	return emitTelemetry(tel, *metrics, *timeline, *traceOut, *promOut)
+}
+
+// emitTelemetry renders whatever telemetry outputs were requested after the
+// selected experiment ran.
+func emitTelemetry(tel *experiment.Telemetry, metrics, timeline bool, traceOut, promOut string) error {
+	if tel == nil {
+		return nil
+	}
+	if metrics {
+		fmt.Println()
+		fmt.Print(tel.Summary())
+	}
+	if timeline {
+		fmt.Println()
+		if err := tel.WriteTimeline(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tel.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d episodes to %s\n", len(tel.Episodes()), traceOut)
+	}
+	if promOut != "" {
+		f, err := os.Create(promOut)
+		if err != nil {
+			return err
+		}
+		if err := tel.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", promOut)
 	}
 	return nil
 }
 
-func runOne(mechanism string, policy faultstudy.RecoveryPolicy, seed int64) error {
-	mgr := faultstudy.NewRecoveryManager(policy)
+// runCheckTrace validates a JSONL episode trace: every line parses against
+// the documented schema and the file is non-empty. Exit status is the CI
+// gate.
+func runCheckTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	episodes, err := obsv.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("checktrace %s: %w", path, err)
+	}
+	if len(episodes) == 0 {
+		return fmt.Errorf("checktrace %s: trace is empty", path)
+	}
+	fmt.Printf("trace OK: %d episodes, %d spans\n", len(episodes), countSpans(episodes))
+	return nil
+}
+
+// countSpans totals the spans across episodes.
+func countSpans(episodes []*obsv.Episode) int {
+	n := 0
+	for _, e := range episodes {
+		n += len(e.Spans)
+	}
+	return n
+}
+
+// runOne runs one mechanism under every strategy, instrumenting each run when
+// telemetry is enabled.
+func runOne(mechanism string, policy faultstudy.RecoveryPolicy, seed int64, tel *experiment.Telemetry) error {
 	for _, strat := range recovery.Strategies() {
 		app, sc, err := faultstudy.BuildScenario(mechanism, seed)
 		if err != nil {
 			return err
 		}
+		runPolicy := policy
+		var ro *obsv.RecoveryObserver
+		if tel != nil {
+			mech, _ := experiment.Registry().Lookup(mechanism)
+			ro = obsv.NewRecoveryObserver(tel.Registry, tel.Recorder, obsv.Context{
+				App:     mech.App.String(),
+				FaultID: mechanism,
+				Class:   experiment.ClassFor(mechanism),
+			}, strat.String())
+			runPolicy.Trace = ro.Trace(policy.Trace)
+		}
+		mgr := faultstudy.NewRecoveryManager(runPolicy)
 		out, err := mgr.Run(app, sc, strat)
 		if err != nil {
 			return err
+		}
+		if ro != nil {
+			ro.Flush(app.Env().Monotonic())
 		}
 		status := "LOST"
 		if out.Survived {

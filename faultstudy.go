@@ -2,7 +2,7 @@
 // from Application Faults? A Fault Study using Open-Source Software"
 // (DSN 2000) as a runnable system.
 //
-// The package is a facade over the implementation packages; it exposes four
+// The package is a facade over the implementation packages; it exposes five
 // capability groups:
 //
 //   - The fault-study pipeline (RunStudy, MineApache/MineGnome/MineMySQL,
@@ -18,6 +18,9 @@
 //     Table/Figures/Aggregate, the ablations): the end-to-end verification
 //     the paper proposed as future work, plus regeneration of every table
 //     and figure in the evaluation.
+//   - The observability layer (NewTelemetry, ReadEpisodeTrace,
+//     SummarizeEpisodes): deterministic metrics and per-fault episode
+//     traces over any supervised run — see OBSERVABILITY.md.
 //
 // Quick start:
 //
@@ -31,6 +34,7 @@ package faultstudy
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 
 	"faultstudy/internal/bugsite"
@@ -39,6 +43,7 @@ import (
 	"faultstudy/internal/corpus"
 	"faultstudy/internal/experiment"
 	"faultstudy/internal/faultinject"
+	"faultstudy/internal/obsv"
 	"faultstudy/internal/recovery"
 	"faultstudy/internal/report"
 	"faultstudy/internal/supervise"
@@ -238,6 +243,37 @@ func RunSoak(cfg SoakConfig) ([]SoakResult, error) { return experiment.RunSoak(c
 
 // RenderSoak formats soak results, one supervisor report per application.
 func RenderSoak(results []SoakResult) string { return experiment.RenderSoak(results) }
+
+// Observability layer (see OBSERVABILITY.md).
+type (
+	// Telemetry bundles a metrics registry and an episode recorder for one
+	// experiment run. Attach one via SoakConfig.Telemetry (or
+	// RecoveryMatrix.AddSupervisedObserved) and export with its WriteTrace,
+	// WriteTimeline, WritePrometheus, and WriteMetricsJSON methods. A nil
+	// Telemetry disables observation at zero cost.
+	Telemetry = experiment.Telemetry
+	// FaultEpisode is one recorded fault-handling episode: everything that
+	// happened to one failing operation between its first observed failure
+	// and the final verdict, as spans on the virtual clock.
+	FaultEpisode = obsv.Episode
+	// EpisodeClassSummary aggregates episodes of one fault class: outcome
+	// counts, MTTR percentiles, retries-per-recovery, rung distribution.
+	EpisodeClassSummary = obsv.ClassSummary
+)
+
+// NewTelemetry builds an empty Telemetry ready to attach to a run.
+func NewTelemetry() *Telemetry { return experiment.NewTelemetry() }
+
+// ReadEpisodeTrace parses and validates an episode-trace JSONL stream, as
+// written by Telemetry.WriteTrace or recoverylab -trace.
+func ReadEpisodeTrace(r io.Reader) ([]*FaultEpisode, error) { return obsv.ReadJSONL(r) }
+
+// SummarizeEpisodes aggregates episodes into per-class summary rows;
+// RenderEpisodeSummary formats them as the recoverylab -metrics table.
+func SummarizeEpisodes(eps []*FaultEpisode) []*EpisodeClassSummary { return obsv.Summarize(eps) }
+
+// RenderEpisodeSummary renders per-class summary rows as a text table.
+func RenderEpisodeSummary(sums []*EpisodeClassSummary) string { return obsv.RenderSummary(sums) }
 
 // RecoveryMatrix is the full recovery-verification experiment.
 type RecoveryMatrix = experiment.Matrix

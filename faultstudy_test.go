@@ -137,3 +137,40 @@ func TestCorpusJSON(t *testing.T) {
 		t.Error("classes should serialize by name")
 	}
 }
+
+// TestPublicTelemetry exercises the observability surface the way a
+// downstream user would: attach a Telemetry to a soak, export the trace,
+// re-read it through the validating parser, and summarize per class.
+func TestPublicTelemetry(t *testing.T) {
+	tel := faultstudy.NewTelemetry()
+	if _, err := faultstudy.RunSoak(faultstudy.SoakConfig{
+		Ops: 60, Faults: 2, Seed: 7, Telemetry: tel,
+	}); err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+	var trace strings.Builder
+	if err := tel.WriteTrace(&trace); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	eps, err := faultstudy.ReadEpisodeTrace(strings.NewReader(trace.String()))
+	if err != nil {
+		t.Fatalf("ReadEpisodeTrace: %v", err)
+	}
+	if len(eps) == 0 {
+		t.Fatal("soak produced no episodes")
+	}
+	sums := faultstudy.SummarizeEpisodes(eps)
+	if len(sums) == 0 {
+		t.Fatal("no per-class summaries")
+	}
+	if out := faultstudy.RenderEpisodeSummary(sums); !strings.Contains(out, "episodes") {
+		t.Errorf("summary table missing header:\n%s", out)
+	}
+	var prom strings.Builder
+	if err := tel.WritePrometheus(&prom); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(prom.String(), "faultstudy_episodes_total") {
+		t.Error("metrics dump missing the episodes counter")
+	}
+}

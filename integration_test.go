@@ -45,6 +45,16 @@ func TestBinariesEndToEnd(t *testing.T) {
 			want: []string{"process-pairs", "survived"},
 		},
 		{
+			name: "cmd/recoverylab telemetry",
+			args: []string{"run", "./cmd/recoverylab", "-mechanism", "httpd/dns-error", "-metrics", "-timeline"},
+			want: []string{"Recovery telemetry by fault class", "EDT", "activated", "recovered after"},
+		},
+		{
+			name: "cmd/doccheck",
+			args: []string{"run", "./cmd/doccheck", "./internal/obsv", "./internal/supervise", "./internal/recovery"},
+			want: []string{"3 packages clean"},
+		},
+		{
 			name: "examples/quickstart",
 			args: []string{"run", "./examples/quickstart"},
 			want: []string{"environment-dependent-transient", "139 bugs"},
@@ -99,5 +109,30 @@ func TestBinariesEndToEnd(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTraceArtifactRoundTrip is the CI telemetry gate in test form: a soak
+// writes trace and metrics artifacts, and -checktrace validates the trace.
+// Skipped under -short: it compiles and executes recoverylab twice.
+func TestTraceArtifactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	trace := dir + "/soak.jsonl"
+	prom := dir + "/soak.prom"
+	out, err := exec.Command("go", "run", "./cmd/recoverylab",
+		"-soak", "-ops", "60", "-faults", "2",
+		"-trace", trace, "-prom", prom).CombinedOutput()
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out)
+	}
+	out, err = exec.Command("go", "run", "./cmd/recoverylab", "-checktrace", trace).CombinedOutput()
+	if err != nil {
+		t.Fatalf("checktrace failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "trace OK") {
+		t.Errorf("checktrace output missing verdict:\n%s", out)
 	}
 }

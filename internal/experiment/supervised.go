@@ -168,6 +168,10 @@ type SoakConfig struct {
 	Seed int64
 	// Supervise tunes the supervisor; its Seed is defaulted from Seed.
 	Supervise supervise.Config
+	// Telemetry, when non-nil, receives metrics and fault episodes from every
+	// application's run — the observability layer's soak wiring. Nil costs
+	// nothing.
+	Telemetry *Telemetry
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -181,6 +185,31 @@ func (c SoakConfig) withDefaults() SoakConfig {
 		c.Supervise.Seed = c.Seed
 	}
 	return c
+}
+
+// workloadHook returns the workload-generation hook for the soak's telemetry,
+// as a properly nil interface when telemetry is disabled.
+func (c SoakConfig) workloadHook() workload.Hook {
+	if c.Telemetry == nil {
+		return nil
+	}
+	return c.Telemetry.workloadHook()
+}
+
+// workloadHTTP generates the web soak's base request stream, observed by the
+// telemetry's workload hook when one is attached.
+func workloadHTTP(cfg SoakConfig) []httpd.Request {
+	return workload.HTTPRequestsObserved(cfg.Seed, workload.DefaultHTTPMix(), cfg.Ops, cfg.workloadHook())
+}
+
+// workloadSQL generates the database soak's base statement stream, observed.
+func workloadSQL(cfg SoakConfig) []string {
+	return workload.SQLStatementsObserved(cfg.Seed, cfg.Ops, cfg.workloadHook())
+}
+
+// workloadDesktop generates the desktop soak's base event stream, observed.
+func workloadDesktop(cfg SoakConfig) []desktop.Event {
+	return workload.DesktopEventsObserved(cfg.Seed, cfg.Ops, cfg.workloadHook())
 }
 
 // SoakResult is one application's soak outcome.
@@ -269,7 +298,7 @@ func RunSoak(cfg SoakConfig) ([]SoakResult, error) {
 			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
 		}
 		base := make([]supervise.Op, 0, cfg.Ops)
-		for _, req := range workload.HTTPRequests(cfg.Seed, workload.DefaultHTTPMix(), cfg.Ops) {
+		for _, req := range workloadHTTP(cfg) {
 			req := req
 			name := req.Method + " " + req.Path
 			base = append(base, supervise.Op{Name: name, Kind: opKindFor("httpd/", name), Do: func() error {
@@ -277,8 +306,11 @@ func RunSoak(cfg SoakConfig) ([]SoakResult, error) {
 				return err
 			}})
 		}
-		sup := supervise.New(srv, cfg.Supervise)
-		return sup.Run(interleave(base, triggers, 0, rng))
+		supCfg, obs := cfg.Telemetry.superviseConfig(cfg.Supervise, soakContext(taxonomy.AppApache))
+		sup := supervise.New(srv, supCfg)
+		rep, err := sup.Run(interleave(base, triggers, 0, rng))
+		obs.Flush(env.Monotonic())
+		return rep, err
 	}); err != nil {
 		return nil, err
 	}
@@ -303,7 +335,7 @@ func RunSoak(cfg SoakConfig) ([]SoakResult, error) {
 			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
 		}
 		base := make([]supervise.Op, 0, cfg.Ops)
-		for _, stmt := range workload.SQLStatements(cfg.Seed, cfg.Ops) {
+		for _, stmt := range workloadSQL(cfg) {
 			stmt := stmt
 			base = append(base, supervise.Op{Name: stmt, Kind: opKindFor("sqldb/", stmt), Do: func() error {
 				_, err := db.Exec(stmt)
@@ -311,8 +343,11 @@ func RunSoak(cfg SoakConfig) ([]SoakResult, error) {
 			}})
 		}
 		// Keep the schema-creating statements first.
-		sup := supervise.New(db, cfg.Supervise)
-		return sup.Run(interleave(base, triggers, 2, rng))
+		supCfg, obs := cfg.Telemetry.superviseConfig(cfg.Supervise, soakContext(taxonomy.AppMySQL))
+		sup := supervise.New(db, supCfg)
+		rep, err := sup.Run(interleave(base, triggers, 2, rng))
+		obs.Flush(env.Monotonic())
+		return rep, err
 	}); err != nil {
 		return nil, err
 	}
@@ -337,15 +372,18 @@ func RunSoak(cfg SoakConfig) ([]SoakResult, error) {
 			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
 		}
 		base := make([]supervise.Op, 0, cfg.Ops)
-		for _, ev := range workload.DesktopEvents(cfg.Seed, cfg.Ops) {
+		for _, ev := range workloadDesktop(cfg) {
 			ev := ev
 			name := ev.Widget + " " + ev.Action
 			base = append(base, supervise.Op{Name: name, Kind: opKindFor("desktop/", name), Do: func() error {
 				return d.Dispatch(ev)
 			}})
 		}
-		sup := supervise.New(d, cfg.Supervise)
-		return sup.Run(interleave(base, triggers, 0, rng))
+		supCfg, obs := cfg.Telemetry.superviseConfig(cfg.Supervise, soakContext(taxonomy.AppGnome))
+		sup := supervise.New(d, supCfg)
+		rep, err := sup.Run(interleave(base, triggers, 0, rng))
+		obs.Flush(env.Monotonic())
+		return rep, err
 	}); err != nil {
 		return nil, err
 	}

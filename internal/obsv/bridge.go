@@ -1,0 +1,374 @@
+package obsv
+
+import (
+	"time"
+
+	"faultstudy/internal/faultinject"
+	"faultstudy/internal/recovery"
+	"faultstudy/internal/supervise"
+)
+
+// Metric names emitted by the bridges. The full catalogue — label sets,
+// bucket bounds, semantics — is documented in OBSERVABILITY.md; these
+// constants are the single point of truth the docs are checked against.
+const (
+	// MetricEpisodes counts closed fault episodes by outcome.
+	MetricEpisodes = "faultstudy_episodes_total"
+	// MetricFailures counts every observed failure, initial and retried.
+	MetricFailures = "faultstudy_failures_total"
+	// MetricRecoveryAttempts counts recovery actions applied, by ladder rung
+	// (or one-shot strategy).
+	MetricRecoveryAttempts = "faultstudy_recovery_attempts_total"
+	// MetricRecoveries counts retries that served the failed operation.
+	MetricRecoveries = "faultstudy_recoveries_total"
+	// MetricEscalations counts escalation-ladder transitions by target rung.
+	MetricEscalations = "faultstudy_escalations_total"
+	// MetricBreakerOpens counts circuit breakers opening.
+	MetricBreakerOpens = "faultstudy_breaker_opens_total"
+	// MetricFastFails counts failures declined by an already-open breaker.
+	MetricFastFails = "faultstudy_fast_fails_total"
+	// MetricWatchdogTimeouts counts hangs the watchdog converted to failures.
+	MetricWatchdogTimeouts = "faultstudy_watchdog_timeouts_total"
+	// MetricBackoffSeconds accumulates virtual time slept in backoff.
+	MetricBackoffSeconds = "faultstudy_backoff_seconds_total"
+	// MetricCheckpoints counts application state snapshots taken.
+	MetricCheckpoints = "faultstudy_checkpoints_total"
+	// MetricShedOps counts write operations shed in degraded mode.
+	MetricShedOps = "faultstudy_shed_ops_total"
+	// MetricDegraded is 1 while the supervised service is degraded, else 0.
+	MetricDegraded = "faultstudy_degraded"
+	// MetricEpisodeSeconds is the episode-duration histogram (LatencyBuckets).
+	MetricEpisodeSeconds = "faultstudy_episode_seconds"
+	// MetricRetriesPerRecovery is the retries-per-served-episode histogram
+	// (RetryBuckets).
+	MetricRetriesPerRecovery = "faultstudy_retries_per_recovery"
+	// MetricWorkloadOps counts generated workload items by stream and
+	// category.
+	MetricWorkloadOps = "faultstudy_workload_ops_total"
+)
+
+// registerHelp attaches the exporter help strings for every bridge metric.
+func registerHelp(reg *Registry) {
+	reg.Help(MetricEpisodes, "Fault episodes closed, by app, class and outcome.")
+	reg.Help(MetricFailures, "Observed operation failures, initial and retried.")
+	reg.Help(MetricRecoveryAttempts, "Recovery actions applied, by ladder rung or strategy.")
+	reg.Help(MetricRecoveries, "Recovery retries that served the failed operation.")
+	reg.Help(MetricEscalations, "Escalation-ladder transitions, by target rung.")
+	reg.Help(MetricBreakerOpens, "Per-mechanism circuit breakers opening.")
+	reg.Help(MetricFastFails, "Failures declined by an already-open breaker.")
+	reg.Help(MetricWatchdogTimeouts, "Hangs the watchdog converted into failures.")
+	reg.Help(MetricBackoffSeconds, "Virtual seconds slept in recovery backoff.")
+	reg.Help(MetricCheckpoints, "Application state snapshots taken.")
+	reg.Help(MetricShedOps, "Write operations shed in degraded mode.")
+	reg.Help(MetricDegraded, "1 while the service is in degraded mode, else 0.")
+	reg.Help(MetricEpisodeSeconds, "Episode duration from dispatch to verdict, virtual seconds.")
+	reg.Help(MetricRetriesPerRecovery, "Recovery retries spent per served episode.")
+	reg.Help(MetricWorkloadOps, "Workload items generated, by stream and category.")
+}
+
+// Observer adapts the supervisor's trace-event stream into recorder episodes
+// and registry metrics. One Observer instruments one supervised run; build it
+// with NewObserver, point supervise.Config.Trace at SuperviseTrace(nil), and
+// read the episodes and metrics afterwards. Both the registry and the
+// recorder may be nil — a nil sink simply receives nothing, so callers can
+// ask for metrics without traces or vice versa.
+type Observer struct {
+	reg *Registry
+	rec *Recorder
+	ctx Context
+	// pending holds watchdog spans charged before the failure that opens the
+	// episode was classified (chargeHang fires EventWatchdog first); they are
+	// attached as the episode's opening spans.
+	pending []Span
+}
+
+// NewObserver builds an observer writing to the given sinks under the given
+// identity context. The context's App/FaultID/Class label every episode and
+// metric the observer emits; SetContext switches identity between runs.
+func NewObserver(reg *Registry, rec *Recorder, ctx Context) *Observer {
+	registerHelp(reg)
+	rec.SetContext(ctx)
+	return &Observer{reg: reg, rec: rec, ctx: ctx}
+}
+
+// SetContext switches the identity attached to subsequent episodes and
+// metrics — the soak and matrix paths reuse one observer across faults.
+func (o *Observer) SetContext(ctx Context) {
+	o.ctx = ctx
+	o.rec.SetContext(ctx)
+}
+
+// Recorder returns the observer's episode sink (may be nil).
+func (o *Observer) Recorder() *Recorder { return o.rec }
+
+// class resolves the class label for a mechanism under the current context.
+func (o *Observer) class(mechanism string) string {
+	if o.ctx.Class != "" {
+		return o.ctx.Class
+	}
+	if o.ctx.ClassFor != nil {
+		if c := o.ctx.ClassFor(mechanism); c != "" {
+			return c
+		}
+	}
+	return "?"
+}
+
+// errText renders an error for span notes ("" for nil).
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// SuperviseTrace returns a supervise trace hook feeding this observer; when
+// next is non-nil every event is forwarded to it afterwards, so the observer
+// composes with logging hooks.
+func (o *Observer) SuperviseTrace(next func(supervise.Event)) func(supervise.Event) {
+	return func(ev supervise.Event) {
+		o.observe(ev)
+		if next != nil {
+			next(ev)
+		}
+	}
+}
+
+// observe folds one supervisor event into the recorder and the registry.
+func (o *Observer) observe(ev supervise.Event) {
+	app := o.ctx.App
+	switch ev.Kind {
+	case supervise.EventFailure:
+		o.reg.Counter(MetricFailures,
+			L("app", app, "class", o.class(ev.Mechanism), "mechanism", ev.Mechanism)...).Inc()
+		if !o.rec.Active() {
+			o.rec.Begin(ev.At, ev.Op, ev.Mechanism)
+			for _, sp := range o.pending {
+				o.rec.Note(time.Duration(sp.StartUS)*time.Microsecond, sp)
+			}
+			o.pending = nil
+			o.rec.Note(ev.At, Span{Kind: SpanActivation, Note: errText(ev.Err)})
+			return
+		}
+		// A failure inside an open episode is a retry that did not serve the
+		// op; the mechanism may have drifted (e.g. a restore hitting a full
+		// disk fails differently than the original crash).
+		o.rec.Drift(ev.Mechanism)
+		o.rec.Note(ev.At, Span{Kind: SpanRetry, Rung: rungName(ev.Rung), Outcome: "fail", Note: errText(ev.Err)})
+	case supervise.EventWatchdog:
+		o.reg.Counter(MetricWatchdogTimeouts,
+			L("app", app, "mechanism", ev.Mechanism)...).Inc()
+		sp := Span{Kind: SpanWatchdog, Note: errText(ev.Err)}
+		if o.rec.Active() {
+			o.rec.Note(ev.At, sp)
+			return
+		}
+		// chargeHang runs before the failure is classified: hold the span and
+		// attach it when the episode opens.
+		sp.StartUS = US(ev.At)
+		sp.EndUS = sp.StartUS
+		o.pending = append(o.pending, sp)
+	case supervise.EventBackoff:
+		o.reg.Counter(MetricBackoffSeconds, L("app", app)...).Add(ev.Delay.Seconds())
+		o.rec.Interval(ev.At, ev.At+ev.Delay,
+			Span{Kind: SpanBackoff, Rung: rungName(ev.Rung), Attempt: ev.Attempt})
+	case supervise.EventAction:
+		o.reg.Counter(MetricRecoveryAttempts,
+			L("app", app, "class", o.class(ev.Mechanism), "rung", rungName(ev.Rung))...).Inc()
+		outcome := "ok"
+		if ev.Err != nil {
+			outcome = "fail" // the recovery action itself failed
+		}
+		o.rec.Note(ev.At, Span{Kind: SpanAction, Rung: rungName(ev.Rung), Attempt: ev.Attempt,
+			Outcome: outcome, Note: errText(ev.Err)})
+	case supervise.EventRetryOK:
+		o.reg.Counter(MetricRecoveries,
+			L("app", app, "class", o.class(ev.Mechanism), "rung", rungName(ev.Rung))...).Inc()
+		o.rec.Note(ev.At, Span{Kind: SpanRetry, Rung: rungName(ev.Rung), Attempt: ev.Attempt, Outcome: "ok"})
+		outcome := OutcomeRecovered
+		if ev.Rung == supervise.RungDegraded {
+			outcome = OutcomeDegraded
+		}
+		o.closeEpisode(ev.At, outcome, rungName(ev.Rung))
+	case supervise.EventEscalate:
+		o.reg.Counter(MetricEscalations,
+			L("app", app, "class", o.class(ev.Mechanism), "rung", rungName(ev.Rung))...).Inc()
+		o.rec.Note(ev.At, Span{Kind: SpanDecision, Rung: rungName(ev.Rung), Outcome: "escalate"})
+	case supervise.EventBreakerOpen:
+		o.reg.Counter(MetricBreakerOpens, L("app", app, "mechanism", ev.Mechanism)...).Inc()
+		o.rec.Note(ev.At, Span{Kind: SpanDecision, Rung: rungName(ev.Rung), Outcome: "breaker-open",
+			Note: ev.Mechanism})
+	case supervise.EventFastFail:
+		o.reg.Counter(MetricFastFails, L("app", app, "mechanism", ev.Mechanism)...).Inc()
+		o.rec.Note(ev.At, Span{Kind: SpanDecision, Outcome: "fast-fail", Note: ev.Mechanism})
+		o.closeEpisode(ev.At, OutcomeFastFail, "")
+	case supervise.EventDegraded:
+		o.reg.Gauge(MetricDegraded, L("app", app)...).Set(1)
+		o.rec.Note(ev.At, Span{Kind: SpanDecision, Rung: rungName(ev.Rung), Outcome: "degraded-enter"})
+	case supervise.EventDegradedExit:
+		o.reg.Gauge(MetricDegraded, L("app", app)...).Set(0)
+		o.rec.Note(ev.At, Span{Kind: SpanDecision, Outcome: "degraded-exit"})
+	case supervise.EventShed:
+		o.reg.Counter(MetricShedOps, L("app", app)...).Inc()
+		if o.rec.Active() {
+			// The op whose episode is open was itself shed at the degraded
+			// rung; steady-state sheds (no open episode) are metrics-only.
+			o.rec.Note(ev.At, Span{Kind: SpanDecision, Rung: rungName(ev.Rung), Outcome: "shed"})
+			o.closeEpisode(ev.At, OutcomeShed, rungName(ev.Rung))
+		}
+	case supervise.EventGiveUp:
+		o.rec.Note(ev.At, Span{Kind: SpanDecision, Rung: rungName(ev.Rung), Outcome: "gave-up",
+			Note: errText(ev.Err)})
+		o.closeEpisode(ev.At, OutcomeLost, rungName(ev.Rung))
+	case supervise.EventCheckpoint:
+		o.reg.Counter(MetricCheckpoints, L("app", app)...).Inc()
+		// Checkpoints happen between episodes; Note drops the span when no
+		// episode is open, which keeps traces episode-shaped.
+		o.rec.Note(ev.At, Span{Kind: SpanCheckpoint, Note: ev.Op})
+	}
+}
+
+// rungName renders a supervisor rung for span and metric labels; the zero
+// value (no rung in effect yet, e.g. the initial failure of an episode)
+// renders as empty so instant spans stay compact in JSONL.
+func rungName(r supervise.Rung) string {
+	if r == 0 {
+		return ""
+	}
+	return r.String()
+}
+
+// closeEpisode ends the open episode and feeds its duration and retry count
+// into the histograms.
+func (o *Observer) closeEpisode(at time.Duration, outcome, finalRung string) {
+	ep := o.rec.End(at, outcome, finalRung)
+	o.observeEpisode(ep, outcome, "")
+}
+
+// observeEpisode records the per-episode metrics. When the recorder is nil
+// (metrics-only instrumentation) ep is nil and mechanism supplies the class
+// label; retries are then unknown and the retry histogram is skipped.
+func (o *Observer) observeEpisode(ep *Episode, outcome, mechanism string) {
+	class := o.class(mechanism)
+	if ep != nil {
+		class = ep.Class
+	}
+	o.reg.Counter(MetricEpisodes,
+		L("app", o.ctx.App, "class", class, "outcome", outcome)...).Inc()
+	if ep == nil {
+		return
+	}
+	o.reg.Histogram(MetricEpisodeSeconds, LatencyBuckets,
+		L("app", o.ctx.App, "class", class)...).ObserveDuration(ep.Duration())
+	if outcome == OutcomeRecovered || outcome == OutcomeDegraded {
+		o.reg.Histogram(MetricRetriesPerRecovery, RetryBuckets,
+			L("app", o.ctx.App, "class", class)...).Observe(float64(ep.Retries))
+	}
+}
+
+// Flush closes any episode left open as lost (a run can end mid-episode
+// when recovery is disabled) and returns it. Call once per instrumented run,
+// after the workload finishes. Nil-safe.
+func (o *Observer) Flush(at time.Duration) *Episode {
+	if o == nil {
+		return nil
+	}
+	ep := o.rec.Flush(at)
+	if ep != nil {
+		o.observeEpisode(ep, OutcomeLost, ep.Mechanism)
+	}
+	return ep
+}
+
+// RecoveryObserver adapts the one-shot recovery manager's trace stream
+// (internal/recovery) into the same episode and metric vocabulary the
+// supervisor bridge uses, with the strategy name standing in for the ladder
+// rung. One observer instruments one Manager.Run.
+type RecoveryObserver struct {
+	obs      *Observer
+	strategy string
+}
+
+// NewRecoveryObserver builds a recovery-run observer. The strategy name
+// labels every action span and attempt metric the run emits.
+func NewRecoveryObserver(reg *Registry, rec *Recorder, ctx Context, strategy string) *RecoveryObserver {
+	return &RecoveryObserver{obs: NewObserver(reg, rec, ctx), strategy: strategy}
+}
+
+// Trace returns a recovery trace hook feeding this observer; a non-nil next
+// receives every event afterwards.
+func (ro *RecoveryObserver) Trace(next func(recovery.TraceEvent)) func(recovery.TraceEvent) {
+	return func(ev recovery.TraceEvent) {
+		ro.observe(ev)
+		if next != nil {
+			next(ev)
+		}
+	}
+}
+
+// mechanismOf extracts the seeded-bug mechanism from a trace error.
+func mechanismOf(err error) string {
+	if fe, ok := faultinject.AsFailure(err); ok {
+		return fe.Mechanism
+	}
+	return ""
+}
+
+// observe folds one recovery-manager event into the sinks.
+func (ro *RecoveryObserver) observe(ev recovery.TraceEvent) {
+	o := ro.obs
+	app := o.ctx.App
+	switch ev.Kind {
+	case recovery.TraceFailure:
+		mech := mechanismOf(ev.Err)
+		o.reg.Counter(MetricFailures,
+			L("app", app, "class", o.class(mech), "mechanism", mech)...).Inc()
+		if !o.rec.Active() {
+			o.rec.Begin(ev.At, ev.Op, mech)
+			o.rec.Note(ev.At, Span{Kind: SpanActivation, Note: errText(ev.Err)})
+		}
+	case recovery.TraceRecover:
+		o.reg.Counter(MetricRecoveryAttempts,
+			L("app", app, "class", o.class(""), "rung", ro.strategy)...).Inc()
+		o.rec.Note(ev.At, Span{Kind: SpanAction, Rung: ro.strategy, Attempt: ev.Attempt, Outcome: "ok"})
+	case recovery.TraceRetryOK:
+		o.reg.Counter(MetricRecoveries,
+			L("app", app, "class", o.class(""), "rung", ro.strategy)...).Inc()
+		o.rec.Note(ev.At, Span{Kind: SpanRetry, Rung: ro.strategy, Attempt: ev.Attempt, Outcome: "ok"})
+		ro.closeEpisode(ev.At, OutcomeRecovered)
+	case recovery.TraceRetryFail:
+		o.rec.Drift(mechanismOf(ev.Err))
+		o.rec.Note(ev.At, Span{Kind: SpanRetry, Rung: ro.strategy, Attempt: ev.Attempt,
+			Outcome: "fail", Note: errText(ev.Err)})
+	case recovery.TraceGaveUp:
+		o.rec.Note(ev.At, Span{Kind: SpanDecision, Rung: ro.strategy, Outcome: "gave-up",
+			Note: errText(ev.Err)})
+		ro.closeEpisode(ev.At, OutcomeLost)
+	}
+}
+
+// closeEpisode ends the open episode under the strategy rung and observes it.
+func (ro *RecoveryObserver) closeEpisode(at time.Duration, outcome string) {
+	ep := ro.obs.rec.End(at, outcome, ro.strategy)
+	ro.obs.observeEpisode(ep, outcome, "")
+}
+
+// Flush closes any episode the run left open (StrategyNone stops at the
+// first failure) as lost.
+func (ro *RecoveryObserver) Flush(at time.Duration) *Episode { return ro.obs.Flush(at) }
+
+// WorkloadHook counts generated workload items in a registry; it satisfies
+// workload.Hook without the workload package importing obsv. A nil
+// *WorkloadHook (or one with a nil registry) records nothing.
+type WorkloadHook struct {
+	// Registry receives the workload-mix counters.
+	Registry *Registry
+}
+
+// Generated counts one generated workload item.
+func (h *WorkloadHook) Generated(stream, category string) {
+	if h == nil {
+		return
+	}
+	h.Registry.Counter(MetricWorkloadOps, L("stream", stream, "category", category)...).Inc()
+}

@@ -1,0 +1,167 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a float the same way every time: shortest exact
+// representation, so exports are byte-stable.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a sorted label list in exposition syntax, with an
+// optional extra label appended (used for histogram le bounds).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(all))
+	for _, l := range all {
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Name, escapeLabelValue(l.Value)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4), sorted by metric name then label set, with # HELP
+// and # TYPE headers emitted once per metric name. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastName := ""
+	for _, s := range r.sortedSeries() {
+		if s.name != lastName {
+			r.mu.Lock()
+			help := r.help[s.name]
+			r.mu.Unlock()
+			if help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, typeName(s.kind))
+			lastName = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, promLabels(s.labels), formatFloat(s.c.Value()))
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, promLabels(s.labels), formatFloat(s.g.Value()))
+		case kindHistogram:
+			bounds, cum, sum, total := s.h.snapshot()
+			for i, ub := range bounds {
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name,
+					promLabels(s.labels, Label{Name: "le", Value: formatFloat(ub)}), cum[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name,
+				promLabels(s.labels, Label{Name: "le", Value: "+Inf"}), cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.name, promLabels(s.labels), formatFloat(sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.name, promLabels(s.labels), total)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// typeName maps a metric kind to its exposition-format type keyword.
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// JSONMetric is one series in the JSON export.
+type JSONMetric struct {
+	// Name is the metric name.
+	Name string `json:"name"`
+	// Type is "counter", "gauge", or "histogram".
+	Type string `json:"type"`
+	// Help is the metric's help string, when registered.
+	Help string `json:"help,omitempty"`
+	// Labels is the series' label set.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds counter and gauge values.
+	Value *float64 `json:"value,omitempty"`
+	// Buckets holds the histogram's cumulative bucket counts.
+	Buckets []JSONBucket `json:"buckets,omitempty"`
+	// Sum is the histogram's observation sum.
+	Sum *float64 `json:"sum,omitempty"`
+	// Count is the histogram's observation count.
+	Count *uint64 `json:"count,omitempty"`
+}
+
+// JSONBucket is one cumulative histogram bucket in the JSON export.
+type JSONBucket struct {
+	// LE is the bucket's inclusive upper bound ("+Inf" for the last).
+	LE string `json:"le"`
+	// Count is the cumulative count of observations ≤ LE.
+	Count uint64 `json:"count"`
+}
+
+// Export returns every series as JSONMetric values in stable order.
+func (r *Registry) Export() []JSONMetric {
+	if r == nil {
+		return nil
+	}
+	var out []JSONMetric
+	for _, s := range r.sortedSeries() {
+		r.mu.Lock()
+		help := r.help[s.name]
+		r.mu.Unlock()
+		m := JSONMetric{Name: s.name, Type: typeName(s.kind), Help: help}
+		if len(s.labels) > 0 {
+			m.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				m.Labels[l.Name] = l.Value
+			}
+		}
+		switch s.kind {
+		case kindCounter:
+			v := s.c.Value()
+			m.Value = &v
+		case kindGauge:
+			v := s.g.Value()
+			m.Value = &v
+		case kindHistogram:
+			bounds, cum, sum, total := s.h.snapshot()
+			for i, ub := range bounds {
+				m.Buckets = append(m.Buckets, JSONBucket{LE: formatFloat(ub), Count: cum[i]})
+			}
+			m.Buckets = append(m.Buckets, JSONBucket{LE: "+Inf", Count: cum[len(cum)-1]})
+			m.Sum = &sum
+			m.Count = &total
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON renders every series as an indented JSON document with stable
+// ordering. A nil registry writes an empty metric list.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics []JSONMetric `json:"metrics"`
+	}{Metrics: r.Export()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

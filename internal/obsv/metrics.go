@@ -1,0 +1,331 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Label is one name=value pair attached to a metric series.
+type Label struct {
+	// Name is the label name (a Prometheus-legal identifier).
+	Name string
+	// Value is the label value.
+	Value string
+}
+
+// L builds a label list from alternating name, value strings. Odd trailing
+// arguments are dropped; the list is sorted by name so series identity does
+// not depend on argument order.
+func L(pairs ...string) []Label {
+	out := make([]Label, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	sortLabels(out)
+	return out
+}
+
+// sortLabels orders labels by name (then value, for pathological duplicates).
+func sortLabels(ls []Label) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Name != ls[j].Name {
+			return ls[i].Name < ls[j].Name
+		}
+		return ls[i].Value < ls[j].Value
+	})
+}
+
+// labelKey serializes a sorted label list into a map key.
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(escapeLabelValue(l.Value))
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter; negative deltas are ignored (counters only go
+// up).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates observations into fixed, cumulative buckets, the way
+// Prometheus histograms do: Counts[i] counts observations ≤ Buckets[i], and
+// an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // sorted upper bounds
+	counts  []uint64  // per-bucket (non-cumulative) counts, +Inf last
+	sum     float64
+	total   uint64
+}
+
+// newHistogram builds a histogram over the given (sorted, deduplicated)
+// upper bounds.
+func newHistogram(buckets []float64) *Histogram {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{buckets: dedup, counts: make([]uint64, len(dedup)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.total++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.buckets)]++ // +Inf
+}
+
+// ObserveDuration records a duration observation in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns the bucket bounds with cumulative counts, plus sum and
+// total, under the lock.
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.buckets...)
+	cumulative = make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cumulative[i] = run
+	}
+	return bounds, cumulative, h.sum, h.total
+}
+
+// LatencyBuckets are the fixed upper bounds, in seconds, for recovery and
+// episode latencies: sub-second retries through hour-scale backoff walks.
+// Fixed buckets keep longitudinal data comparable across runs — the "Faults
+// in Linux" lesson that fault data is only useful when schemas are stable.
+var LatencyBuckets = []float64{0.001, 0.01, 0.1, 1, 5, 15, 60, 300, 900, 3600}
+
+// RetryBuckets are the fixed upper bounds for retries-per-recovery counts:
+// the escalation ladder spends at most RungAttempts×4 attempts before the
+// degraded rung, so the top bucket is comfortably above a full ladder walk.
+var RetryBuckets = []float64{1, 2, 3, 5, 8, 13, 21}
+
+// metricKind discriminates the series types held by a Registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+// series is one (name, labels) metric instance.
+type series struct {
+	name   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metric series. The zero value is not usable; call
+// NewRegistry. All lookup methods create the series on first use, so
+// instrumentation sites need no registration ceremony. A nil *Registry is
+// legal everywhere: the lookup methods return live but unexported-from-export
+// metric objects, making disabled instrumentation cost one branch and one
+// allocation at worst.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+	help   map[string]string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series), help: make(map[string]string)}
+}
+
+// Help attaches a help string to a metric name, emitted as # HELP by the
+// Prometheus exporter.
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// seriesKey builds the registry key for a (name, labels) pair.
+func seriesKey(name string, labels []Label) string {
+	return name + "{" + labelKey(labels) + "}"
+}
+
+// lookup returns (creating if needed) the series for name+labels, verifying
+// the kind matches. Mismatched kinds panic: that is a programming error at
+// an instrumentation site, not a runtime condition.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, mk func() *series) *series {
+	ls := append([]Label(nil), labels...)
+	sortLabels(ls)
+	key := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[key]
+	if !ok {
+		s = mk()
+		s.name, s.labels, s.kind = name, ls, kind
+		r.series[key] = s
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("obsv: metric %q registered with two kinds", name))
+	}
+	return s
+}
+
+// Counter returns the counter series for name+labels, creating it on first
+// use. Safe on a nil registry (returns a detached counter).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.lookup(name, labels, kindCounter, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first use.
+// Safe on a nil registry (returns a detached gauge).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.lookup(name, labels, kindGauge, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// Histogram returns the histogram series for name+labels with the given
+// fixed buckets, creating it on first use; later calls for the same series
+// ignore the bucket argument. Safe on a nil registry (returns a detached
+// histogram).
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return newHistogram(buckets)
+	}
+	return r.lookup(name, labels, kindHistogram, func() *series { return &series{h: newHistogram(buckets)} }).h
+}
+
+// sortedSeries returns every series ordered by name then label key — the
+// stable iteration order both exporters rely on.
+func (r *Registry) sortedSeries() []*series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out
+}
+
+// Len returns the number of live series.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series)
+}

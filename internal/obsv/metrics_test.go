@@ -1,0 +1,104 @@
+package obsv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", got)
+	}
+}
+
+func TestGaugeUpDown(t *testing.T) {
+	var g Gauge
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("Value = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 1, 10}) // dup 1 must dedupe
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	bounds, cum, sum, total := h.snapshot()
+	wantBounds := []float64{1, 5, 10}
+	if len(bounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", bounds, wantBounds)
+	}
+	for i, b := range wantBounds {
+		if bounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", bounds, wantBounds)
+		}
+	}
+	// Cumulative: ≤1 → 2, ≤5 → 3, ≤10 → 4, +Inf → 5.
+	wantCum := []uint64{2, 3, 4, 5}
+	for i, c := range wantCum {
+		if cum[i] != c {
+			t.Fatalf("cumulative = %v, want %v", cum, wantCum)
+		}
+	}
+	if total != 5 || sum != 111.5 {
+		t.Fatalf("total=%d sum=%v, want 5 and 111.5", total, sum)
+	}
+	h.ObserveDuration(1500 * time.Millisecond)
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+}
+
+func TestRegistryLookupAndLabels(t *testing.T) {
+	r := NewRegistry()
+	// Same series regardless of label argument order.
+	a := r.Counter("x_total", L("b", "2", "a", "1")...)
+	b := r.Counter("x_total", Label{Name: "a", Value: "1"}, Label{Name: "b", Value: "2"})
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("label order created distinct series")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	// Different labels → different series.
+	r.Counter("x_total", L("a", "other")...).Inc()
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	// Kind mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", L("a", "1", "b", "2")...)
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c", LatencyBuckets).Observe(1)
+	r.Help("a", "help")
+	if r.Len() != 0 {
+		t.Fatal("nil registry reported series")
+	}
+	if err := r.WritePrometheus(discard{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Export(); got != nil {
+		t.Fatalf("nil registry exported %v", got)
+	}
+}
+
+// discard is an io.Writer that drops everything.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

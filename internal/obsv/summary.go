@@ -1,0 +1,177 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"faultstudy/internal/stats"
+)
+
+// ClassSummary aggregates every episode of one environment-dependence class
+// — the per-class telemetry row the paper's headline EI/EDN/EDT split can be
+// read off directly.
+type ClassSummary struct {
+	// Class is the class short name (EI, EDN, EDT) or "?" for episodes whose
+	// mechanism has no class (supervisor pseudo-mechanisms).
+	Class string
+	// Episodes is the number of fault episodes observed.
+	Episodes int
+	// Recovered, Degraded, Shed, Lost, FastFailed partition the episodes by
+	// outcome.
+	Recovered, Degraded, Shed, Lost, FastFailed int
+	// Retries is the total number of recovery attempts spent.
+	Retries int
+	// RetriesPerRecovery is the mean retries among episodes that were served
+	// (recovered or served-degraded).
+	RetriesPerRecovery float64
+	// MTTRMean, MTTRP50, MTTRP95, MTTRMax summarize time-to-repair over the
+	// served episodes, on the virtual clock.
+	MTTRMean, MTTRP50, MTTRP95, MTTRMax time.Duration
+	// Rungs is the final-rung distribution over all episodes.
+	Rungs map[string]int
+}
+
+// served counts episodes that ended with the op served.
+func (c *ClassSummary) served() int { return c.Recovered + c.Degraded }
+
+// classOrder fixes the presentation order of summary rows.
+func classOrder(class string) int {
+	switch class {
+	case "EI":
+		return 0
+	case "EDN":
+		return 1
+	case "EDT":
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Summarize folds episodes into per-class summaries, ordered EI, EDN, EDT,
+// then any remaining classes alphabetically.
+func Summarize(episodes []*Episode) []*ClassSummary {
+	byClass := make(map[string]*ClassSummary)
+	repair := make(map[string][]float64) // seconds, served episodes only
+	for _, e := range episodes {
+		cs, ok := byClass[e.Class]
+		if !ok {
+			cs = &ClassSummary{Class: e.Class, Rungs: make(map[string]int)}
+			byClass[e.Class] = cs
+		}
+		cs.Episodes++
+		cs.Retries += e.Retries
+		if e.FinalRung != "" {
+			cs.Rungs[e.FinalRung]++
+		}
+		switch e.Outcome {
+		case OutcomeRecovered:
+			cs.Recovered++
+		case OutcomeDegraded:
+			cs.Degraded++
+		case OutcomeShed:
+			cs.Shed++
+		case OutcomeFastFail:
+			cs.FastFailed++
+		default:
+			cs.Lost++
+		}
+		if e.Outcome == OutcomeRecovered || e.Outcome == OutcomeDegraded {
+			repair[e.Class] = append(repair[e.Class], e.Duration().Seconds())
+		}
+	}
+	out := make([]*ClassSummary, 0, len(byClass))
+	for class, cs := range byClass {
+		if xs := repair[class]; len(xs) > 0 {
+			sum, retries := 0.0, 0
+			for _, x := range xs {
+				sum += x
+			}
+			for _, e := range episodes {
+				if e.Class == class && (e.Outcome == OutcomeRecovered || e.Outcome == OutcomeDegraded) {
+					retries += e.Retries
+				}
+			}
+			cs.MTTRMean = secDur(sum / float64(len(xs)))
+			cs.MTTRP50 = secDur(stats.Quantile(xs, 0.50))
+			cs.MTTRP95 = secDur(stats.Quantile(xs, 0.95))
+			cs.MTTRMax = secDur(stats.Quantile(xs, 1))
+			cs.RetriesPerRecovery = float64(retries) / float64(len(xs))
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, oj := classOrder(out[i].Class), classOrder(out[j].Class)
+		if oi != oj {
+			return oi < oj
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// secDur converts float seconds to a duration rounded to the microsecond —
+// the schema's resolution, so summaries stay byte-stable.
+func secDur(s float64) time.Duration {
+	return (time.Duration(s*1e6) * time.Microsecond).Round(time.Microsecond)
+}
+
+// rungOrder fixes the ladder order used when rendering rung distributions.
+var rungOrder = []string{"retry", "microreboot", "restore", "restart", "degraded"}
+
+// renderRungs renders a final-rung distribution compactly in ladder order,
+// unknown rungs last alphabetically.
+func renderRungs(rungs map[string]int) string {
+	if len(rungs) == 0 {
+		return "-"
+	}
+	var parts []string
+	seen := make(map[string]bool)
+	for _, r := range rungOrder {
+		if n := rungs[r]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, n))
+			seen[r] = true
+		}
+	}
+	var rest []string
+	for r := range rungs {
+		if !seen[r] {
+			rest = append(rest, r)
+		}
+	}
+	sort.Strings(rest)
+	for _, r := range rest {
+		parts = append(parts, fmt.Sprintf("%s=%d", r, rungs[r]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// RenderSummary renders the per-class telemetry table: episode counts,
+// served/degraded/lost fractions, MTTR, retries-per-recovery, and the
+// final-rung distribution.
+func RenderSummary(sums []*ClassSummary) string {
+	tbl := &stats.Table{Header: []string{
+		"class", "episodes", "served", "degraded", "shed", "lost", "fast-fail",
+		"MTTR(mean)", "MTTR(p95)", "retries/recovery", "final rungs",
+	}}
+	for _, cs := range sums {
+		frac := func(n int) string {
+			if cs.Episodes == 0 {
+				return "0"
+			}
+			return fmt.Sprintf("%d (%s)", n, stats.Proportion{Hits: n, N: cs.Episodes}.Percent())
+		}
+		mttrMean, mttrP95, rpr := "-", "-", "-"
+		if cs.served() > 0 {
+			mttrMean = cs.MTTRMean.String()
+			mttrP95 = cs.MTTRP95.String()
+			rpr = fmt.Sprintf("%.1f", cs.RetriesPerRecovery)
+		}
+		tbl.Add(cs.Class, fmt.Sprint(cs.Episodes),
+			frac(cs.served()), frac(cs.Degraded), frac(cs.Shed), frac(cs.Lost), frac(cs.FastFailed),
+			mttrMean, mttrP95, rpr, renderRungs(cs.Rungs))
+	}
+	return "Recovery telemetry by fault class:\n" + tbl.String()
+}

@@ -1,0 +1,151 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// usDur converts schema microseconds back to a duration.
+func usDur(us int64) time.Duration { return time.Duration(us) * time.Microsecond }
+
+// narrativeVerb maps a span to its narrative verb, or "" for spans the
+// narrative elides (backoffs, checkpoints, notes).
+func narrativeVerb(sp Span) string {
+	switch sp.Kind {
+	case SpanAction:
+		switch sp.Rung {
+		case "retry":
+			return "retried"
+		case "microreboot":
+			return "microrebooted"
+		case "restore":
+			return "restored"
+		case "restart":
+			return "clean-restarted"
+		case "degraded":
+			return "degraded"
+		default:
+			if sp.Rung != "" {
+				return sp.Rung
+			}
+			return "recovered"
+		}
+	case SpanWatchdog:
+		return "watchdogged"
+	case SpanDecision:
+		switch sp.Outcome {
+		case "breaker-open":
+			return "breaker-opened"
+		case "crash-loop":
+			return "crash-loop-tripped"
+		case "degraded-enter":
+			return "went-degraded"
+		default:
+			return ""
+		}
+	default:
+		return ""
+	}
+}
+
+// outcomeVerb closes the narrative.
+func outcomeVerb(outcome string) string {
+	switch outcome {
+	case OutcomeRecovered:
+		return "served"
+	case OutcomeDegraded:
+		return "served-degraded"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeFastFail:
+		return "fast-failed"
+	default:
+		return "lost"
+	}
+}
+
+// Narrative renders the episode as the one-line story the timeline report
+// leads with: activated → retried ×N → microrebooted → served-degraded.
+// Consecutive identical verbs collapse into ×N runs.
+func (e *Episode) Narrative() string {
+	parts := []string{"activated"}
+	counts := []int{1}
+	push := func(verb string) {
+		if verb == "" {
+			return
+		}
+		if parts[len(parts)-1] == verb {
+			counts[len(counts)-1]++
+			return
+		}
+		parts = append(parts, verb)
+		counts = append(counts, 1)
+	}
+	for _, sp := range e.Spans {
+		push(narrativeVerb(sp))
+	}
+	push(outcomeVerb(e.Outcome))
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(p)
+		if counts[i] > 1 {
+			fmt.Fprintf(&b, " ×%d", counts[i])
+		}
+	}
+	return b.String()
+}
+
+// spanDetail renders the right-hand detail column for one span line.
+func spanDetail(sp Span) string {
+	var parts []string
+	if sp.Rung != "" {
+		parts = append(parts, "rung "+sp.Rung)
+	}
+	if sp.Attempt > 0 {
+		parts = append(parts, fmt.Sprintf("attempt %d", sp.Attempt))
+	}
+	if d := usDur(sp.EndUS - sp.StartUS); d > 0 {
+		parts = append(parts, d.String())
+	}
+	if sp.Outcome != "" {
+		parts = append(parts, sp.Outcome)
+	}
+	if sp.Note != "" {
+		parts = append(parts, sp.Note)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// WriteTimeline renders the per-episode timeline report: for each episode a
+// header, its narrative, and one line per span with t+offset virtual
+// timestamps. Deterministic for deterministic inputs.
+func WriteTimeline(w io.Writer, episodes []*Episode) error {
+	var b strings.Builder
+	for i, e := range episodes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		id := e.Mechanism
+		if e.FaultID != "" {
+			id = e.FaultID + " / " + id
+		}
+		fmt.Fprintf(&b, "episode %03d  [%s]  %s  op=%q\n", e.ID, e.Class, id, e.Op)
+		fmt.Fprintf(&b, "  %s\n", e.Narrative())
+		for _, sp := range e.Spans {
+			fmt.Fprintf(&b, "  t+%-12s %-11s %s\n",
+				usDur(sp.StartUS-e.StartUS).String(), sp.Kind, spanDetail(sp))
+		}
+		fmt.Fprintf(&b, "  outcome: %s after %d retries in %s", e.Outcome, e.Retries, e.Duration())
+		if e.FinalRung != "" {
+			fmt.Fprintf(&b, " at rung %s", e.FinalRung)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,64 @@
+package obsv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNarrativeCollapsesRuns(t *testing.T) {
+	eps := fixtureEpisodes(t)
+	if got, want := eps[0].Narrative(), "activated → retried → microrebooted → served"; got != want {
+		t.Errorf("Narrative = %q, want %q", got, want)
+	}
+	if got, want := eps[1].Narrative(), "activated → fast-failed"; got != want {
+		t.Errorf("Narrative = %q, want %q", got, want)
+	}
+	// A repeated rung collapses into ×N.
+	e := &Episode{Outcome: OutcomeLost, Spans: []Span{
+		{Kind: SpanAction, Rung: "retry"},
+		{Kind: SpanAction, Rung: "retry"},
+		{Kind: SpanAction, Rung: "retry"},
+	}}
+	if got, want := e.Narrative(), "activated → retried ×3 → lost"; got != want {
+		t.Errorf("Narrative = %q, want %q", got, want)
+	}
+}
+
+func TestWriteTimelineGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, fixtureEpisodes(t)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "timeline.txt", buf.Bytes())
+}
+
+func TestSummarizeClasses(t *testing.T) {
+	eps := fixtureEpisodes(t)
+	sums := Summarize(eps)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	if sums[0].Class != "EI" || sums[1].Class != "EDN" {
+		t.Fatalf("class order = %s, %s; want EI, EDN", sums[0].Class, sums[1].Class)
+	}
+	ei := sums[0]
+	if ei.Episodes != 1 || ei.Recovered != 1 || ei.Retries != 2 {
+		t.Errorf("EI row = %+v", ei)
+	}
+	if ei.MTTRP50 != ei.MTTRMax || ei.MTTRMax.Seconds() != 4 {
+		t.Errorf("EI MTTR p50=%s max=%s, want both 4s", ei.MTTRP50, ei.MTTRMax)
+	}
+	if ei.RetriesPerRecovery != 2 {
+		t.Errorf("RetriesPerRecovery = %v, want 2", ei.RetriesPerRecovery)
+	}
+	edn := sums[1]
+	if edn.FastFailed != 1 || edn.Recovered != 0 {
+		t.Errorf("EDN row = %+v", edn)
+	}
+	out := RenderSummary(sums)
+	for _, want := range []string{"EI", "EDN", "fast-fail", "microreboot=1"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}

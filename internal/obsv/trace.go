@@ -1,0 +1,414 @@
+package obsv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span kinds recorded on episodes. The vocabulary is closed and documented
+// in OBSERVABILITY.md; ReadJSONL accepts unknown kinds for forward
+// compatibility but the writers only emit these.
+const (
+	// SpanActivation is the initial observed failure that opens an episode.
+	SpanActivation = "activation"
+	// SpanFailure is a repeated failure inside an open episode.
+	SpanFailure = "failure"
+	// SpanBackoff is a backoff sleep before a recovery attempt; its Start/End
+	// bracket the virtual time slept.
+	SpanBackoff = "backoff"
+	// SpanAction is one ladder rung's (or one-shot strategy's) recovery
+	// action being applied.
+	SpanAction = "action"
+	// SpanRetry is a post-recovery re-execution of the failed operation;
+	// Outcome says whether it passed.
+	SpanRetry = "retry"
+	// SpanCheckpoint is an application state snapshot being taken.
+	SpanCheckpoint = "checkpoint"
+	// SpanRestore is application state being restored from a snapshot.
+	SpanRestore = "restore"
+	// SpanDecision is a supervisor decision that changes the episode's course
+	// (escalation, breaker open, crash-loop trip, degraded entry/exit, shed).
+	SpanDecision = "decision"
+	// SpanWatchdog is the watchdog charging a hang or abandoning a blocked
+	// operation.
+	SpanWatchdog = "watchdog"
+)
+
+// Episode outcomes. An episode runs from the first observed failure of an
+// operation to the supervisor's (or one-shot strategy's) final decision
+// about it.
+const (
+	// OutcomeRecovered means the operation was eventually served.
+	OutcomeRecovered = "recovered"
+	// OutcomeDegraded means the operation was served, but only after the
+	// service entered degraded mode.
+	OutcomeDegraded = "served-degraded"
+	// OutcomeShed means the operation was deliberately shed in degraded mode
+	// — not served, but not silently lost either.
+	OutcomeShed = "shed"
+	// OutcomeLost means the operation was abandoned.
+	OutcomeLost = "lost"
+	// OutcomeFastFail means an open circuit breaker declined the episode
+	// without spending any recovery attempt.
+	OutcomeFastFail = "fast-fail"
+)
+
+// Span is one timed interval (or instant, when Start == End) inside an
+// episode. Times are virtual monotonic microseconds — see Episode.
+type Span struct {
+	// Kind is one of the Span* constants.
+	Kind string `json:"kind"`
+	// Rung names the escalation-ladder rung or recovery strategy in effect,
+	// when one applies.
+	Rung string `json:"rung,omitempty"`
+	// Attempt is the episode-wide recovery attempt number, when one applies.
+	Attempt int `json:"attempt,omitempty"`
+	// StartUS and EndUS are the span's bounds in virtual microseconds.
+	StartUS int64 `json:"start_us"`
+	// EndUS is the end bound; instant spans have EndUS == StartUS.
+	EndUS int64 `json:"end_us"`
+	// Outcome qualifies the span ("ok"/"fail" for retries, the decision name
+	// for decision spans).
+	Outcome string `json:"outcome,omitempty"`
+	// Note carries the error text or other human-readable detail.
+	Note string `json:"note,omitempty"`
+}
+
+// Episode is one fault-handling episode: everything that happened to one
+// failing operation between its first observed failure and the final verdict.
+// All times are time.Duration readings of the injectable virtual clock,
+// serialized as integer microseconds so the JSONL is byte-stable.
+type Episode struct {
+	// ID numbers episodes within one recorder, starting at 1.
+	ID int `json:"episode"`
+	// App is the application under test (apache, gnome, mysql).
+	App string `json:"app,omitempty"`
+	// FaultID is the corpus fault being reproduced, when known.
+	FaultID string `json:"fault_id,omitempty"`
+	// Class is the fault's environment-dependence class (EI, EDN, EDT) when
+	// known, or "?" for pseudo-mechanisms the supervisor itself raises.
+	Class string `json:"class,omitempty"`
+	// Mechanism is the seeded-bug mechanism key that (last) fired.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Op is the workload operation the episode is about.
+	Op string `json:"op,omitempty"`
+	// StartUS and EndUS bound the episode in virtual microseconds. EndUS is
+	// stamped at decision time — the clock reading at which the final verdict
+	// was reached, including any backoff slept on the way there.
+	StartUS int64 `json:"start_us"`
+	// EndUS is the decision-time end bound.
+	EndUS int64 `json:"end_us"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// Retries is how many recovery attempts the episode spent.
+	Retries int `json:"retries"`
+	// FinalRung is the ladder rung (or strategy) in effect at the verdict.
+	FinalRung string `json:"final_rung,omitempty"`
+	// Spans is the episode's timeline, in record order.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// Duration returns the episode's span on the virtual clock — the time to
+// repair (or to give up).
+func (e *Episode) Duration() time.Duration {
+	return time.Duration(e.EndUS-e.StartUS) * time.Microsecond
+}
+
+// US converts a virtual-clock reading to the integer microseconds used by
+// the JSONL schema.
+func US(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// Recorder accumulates episodes. It is safe for use from one goroutine per
+// instrumented run (matching the supervisor's own concurrency contract);
+// the mutex exists so a CLI can snapshot while a run is in flight. A nil
+// *Recorder is legal at every call site and records nothing.
+type Recorder struct {
+	mu       sync.Mutex
+	ctx      Context
+	episodes []*Episode
+	open     *Episode
+	nextID   int
+}
+
+// Context is the identity key attached to every episode a recorder opens:
+// which application, which corpus fault, which class. Set it before each
+// instrumented run; mechanism comes from the events themselves.
+type Context struct {
+	// App is the application under test.
+	App string
+	// FaultID is the corpus fault being reproduced, when known.
+	FaultID string
+	// Class is the fault's EI/EDN/EDT class, when known.
+	Class string
+	// ClassFor resolves a mechanism key to a class short name when Class is
+	// empty — the soak path, where one run hosts several mechanisms.
+	ClassFor func(mechanism string) string
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetContext replaces the identity attached to subsequently opened episodes.
+// Nil-safe.
+func (r *Recorder) SetContext(c Context) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ctx = c
+	r.mu.Unlock()
+}
+
+// Begin opens an episode for op at the given virtual time, closing any
+// episode left open (which should not happen with well-formed event streams;
+// the stray episode keeps its last-known state and outcome "lost").
+// Nil-safe.
+func (r *Recorder) Begin(at time.Duration, op, mechanism string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.open != nil {
+		r.closeLocked(at, OutcomeLost, "")
+	}
+	r.nextID++
+	e := &Episode{
+		ID:        r.nextID,
+		App:       r.ctx.App,
+		FaultID:   r.ctx.FaultID,
+		Class:     r.classFor(mechanism),
+		Mechanism: mechanism,
+		Op:        op,
+		StartUS:   US(at),
+		EndUS:     US(at),
+	}
+	r.open = e
+}
+
+// classFor resolves the class label for a mechanism under the current
+// context. Callers hold the lock.
+func (r *Recorder) classFor(mechanism string) string {
+	if r.ctx.Class != "" {
+		return r.ctx.Class
+	}
+	if r.ctx.ClassFor != nil {
+		if c := r.ctx.ClassFor(mechanism); c != "" {
+			return c
+		}
+	}
+	return "?"
+}
+
+// Active reports whether an episode is open. Nil-safe.
+func (r *Recorder) Active() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.open != nil
+}
+
+// Note appends an instant span to the open episode; without an open episode
+// the span is dropped — between-episode activity (steady-state checkpoints)
+// is counted in the metrics registry instead, keeping traces episode-shaped.
+// Nil-safe.
+func (r *Recorder) Note(at time.Duration, sp Span) {
+	if r == nil {
+		return
+	}
+	sp.StartUS = US(at)
+	sp.EndUS = sp.StartUS
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.open == nil {
+		return
+	}
+	r.appendLocked(sp)
+}
+
+// Interval appends a timed span [from, to] to the open episode. Nil-safe.
+func (r *Recorder) Interval(from, to time.Duration, sp Span) {
+	if r == nil {
+		return
+	}
+	sp.StartUS = US(from)
+	sp.EndUS = US(to)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.open == nil {
+		return
+	}
+	r.appendLocked(sp)
+}
+
+// appendLocked attaches a span and keeps the open episode's running fields
+// (mechanism drift, retry count, final rung, end bound) current. Callers
+// hold the lock.
+func (r *Recorder) appendLocked(sp Span) {
+	e := r.open
+	e.Spans = append(e.Spans, sp)
+	if sp.Kind == SpanRetry {
+		e.Retries++
+	}
+	if sp.Rung != "" {
+		e.FinalRung = sp.Rung
+	}
+	if sp.EndUS > e.EndUS {
+		e.EndUS = sp.EndUS
+	}
+}
+
+// Drift re-keys the open episode to a new mechanism — the supervisor saw the
+// failure change identity mid-episode (e.g. a restore running into a full
+// disk). Nil-safe.
+func (r *Recorder) Drift(mechanism string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.open == nil || mechanism == "" || r.open.Mechanism == mechanism {
+		return
+	}
+	r.open.Mechanism = mechanism
+	r.open.Class = r.classFor(mechanism)
+}
+
+// End closes the open episode with the outcome, stamping its end at the
+// given decision-time clock reading, and returns it (so callers can feed the
+// finished episode into metrics). Without an open episode it is a no-op
+// returning nil. Nil-safe.
+func (r *Recorder) End(at time.Duration, outcome, finalRung string) *Episode {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closeLocked(at, outcome, finalRung)
+}
+
+// Flush closes any episode still open as lost — the run ended before the
+// event stream reached a verdict (a no-recovery strategy stops at the first
+// failure). Returns the flushed episode, or nil when none was open. Nil-safe.
+func (r *Recorder) Flush(at time.Duration) *Episode {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.open == nil {
+		return nil
+	}
+	return r.closeLocked(at, OutcomeLost, "")
+}
+
+// closeLocked finalizes and returns the open episode. Callers hold the lock.
+func (r *Recorder) closeLocked(at time.Duration, outcome, finalRung string) *Episode {
+	e := r.open
+	if e == nil {
+		return nil
+	}
+	if us := US(at); us > e.EndUS {
+		e.EndUS = us
+	}
+	e.Outcome = outcome
+	if finalRung != "" {
+		e.FinalRung = finalRung
+	}
+	r.episodes = append(r.episodes, e)
+	r.open = nil
+	return e
+}
+
+// Episodes returns the closed episodes in record order. The slice is shared;
+// treat it as read-only. Nil-safe (returns nil).
+func (r *Recorder) Episodes() []*Episode {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.episodes
+}
+
+// WriteJSONL renders episodes one JSON object per line — the trace artifact
+// schema documented in OBSERVABILITY.md. Encoding is deterministic: struct
+// field order, integer microsecond times, no maps.
+func WriteJSONL(w io.Writer, episodes []*Episode) error {
+	for _, e := range episodes {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("obsv: marshal episode %d: %w", e.ID, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL trace back into episodes, validating the schema:
+// every line must be a JSON object with a positive episode number, an
+// outcome, and end ≥ start (episode and spans). The round-trip property
+// WriteJSONL→ReadJSONL→WriteJSONL is byte-identical.
+func ReadJSONL(rd io.Reader) ([]*Episode, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []*Episode
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Episode
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("obsv: trace line %d: %w", line, err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("obsv: trace line %d: %w", line, err)
+		}
+		out = append(out, &e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obsv: trace: %w", err)
+	}
+	return out, nil
+}
+
+// Validate checks the episode against the documented schema invariants.
+func (e *Episode) Validate() error {
+	if e.ID <= 0 {
+		return fmt.Errorf("episode number %d is not positive", e.ID)
+	}
+	if e.Outcome == "" {
+		return fmt.Errorf("episode %d has no outcome", e.ID)
+	}
+	switch e.Outcome {
+	case OutcomeRecovered, OutcomeDegraded, OutcomeShed, OutcomeLost, OutcomeFastFail:
+	default:
+		return fmt.Errorf("episode %d has unknown outcome %q", e.ID, e.Outcome)
+	}
+	if e.EndUS < e.StartUS {
+		return fmt.Errorf("episode %d ends (%d) before it starts (%d)", e.ID, e.EndUS, e.StartUS)
+	}
+	for i, sp := range e.Spans {
+		if sp.Kind == "" {
+			return fmt.Errorf("episode %d span %d has no kind", e.ID, i)
+		}
+		if sp.EndUS < sp.StartUS {
+			return fmt.Errorf("episode %d span %d ends before it starts", e.ID, i)
+		}
+	}
+	return nil
+}

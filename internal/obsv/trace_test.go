@@ -1,0 +1,166 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixtureEpisodes records two episodes through the Recorder API — one
+// recovered after a retry walk, one lost to an open breaker — and returns
+// them. Shared by the round-trip and timeline tests.
+func fixtureEpisodes(t *testing.T) []*Episode {
+	t.Helper()
+	r := NewRecorder()
+	r.SetContext(Context{App: "apache", FaultID: "apache-1999-42", Class: "EI"})
+
+	at := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	r.Begin(at(10), "GET /index.html", "httpd/null-deref")
+	r.Note(at(10), Span{Kind: SpanActivation, Note: "segfault in ap_handler"})
+	r.Interval(at(10), at(11), Span{Kind: SpanBackoff, Rung: "retry", Attempt: 1})
+	r.Note(at(11), Span{Kind: SpanAction, Rung: "retry", Attempt: 1, Outcome: "ok"})
+	r.Note(at(11.5), Span{Kind: SpanRetry, Rung: "retry", Attempt: 1, Outcome: "fail", Note: "segfault again"})
+	r.Note(at(11.5), Span{Kind: SpanDecision, Rung: "microreboot", Outcome: "escalate"})
+	r.Interval(at(11.5), at(13.5), Span{Kind: SpanBackoff, Rung: "microreboot", Attempt: 2})
+	r.Note(at(13.5), Span{Kind: SpanAction, Rung: "microreboot", Attempt: 2, Outcome: "ok"})
+	r.Note(at(14), Span{Kind: SpanRetry, Rung: "microreboot", Attempt: 2, Outcome: "ok"})
+	if ep := r.End(at(14), OutcomeRecovered, "microreboot"); ep == nil || ep.ID != 1 {
+		t.Fatalf("End returned %+v, want episode 1", ep)
+	}
+
+	r.SetContext(Context{App: "mysql", Class: "EDN"})
+	r.Begin(at(20), "INSERT INTO load", "sqldb/disk-full")
+	r.Note(at(20), Span{Kind: SpanActivation, Note: "disk full"})
+	r.Note(at(20), Span{Kind: SpanDecision, Outcome: "fast-fail", Note: "sqldb/disk-full"})
+	r.End(at(20), OutcomeFastFail, "")
+
+	return r.Episodes()
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	eps := fixtureEpisodes(t)
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(eps))
+	}
+	e := eps[0]
+	if e.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (one failed, one ok)", e.Retries)
+	}
+	if e.FinalRung != "microreboot" {
+		t.Errorf("FinalRung = %q, want microreboot", e.FinalRung)
+	}
+	if e.Duration() != 4*time.Second {
+		t.Errorf("Duration = %s, want 4s", e.Duration())
+	}
+	if e.Class != "EI" || e.App != "apache" || e.FaultID != "apache-1999-42" {
+		t.Errorf("identity not carried: %+v", e)
+	}
+	if eps[1].Outcome != OutcomeFastFail || eps[1].Class != "EDN" {
+		t.Errorf("second episode = %+v", eps[1])
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.SetContext(Context{App: "x"})
+	r.Begin(0, "op", "mech")
+	r.Note(0, Span{Kind: SpanActivation})
+	r.Interval(0, 1, Span{Kind: SpanBackoff})
+	r.Drift("other")
+	if r.Active() {
+		t.Fatal("nil recorder active")
+	}
+	if ep := r.End(0, OutcomeLost, ""); ep != nil {
+		t.Fatalf("nil recorder closed %+v", ep)
+	}
+	if r.Flush(0) != nil || r.Episodes() != nil {
+		t.Fatal("nil recorder produced episodes")
+	}
+}
+
+func TestRecorderDrift(t *testing.T) {
+	r := NewRecorder()
+	r.SetContext(Context{ClassFor: func(m string) string {
+		if m == "sqldb/disk-full" {
+			return "EDN"
+		}
+		return "EI"
+	}})
+	r.Begin(0, "op", "sqldb/null-deref")
+	r.Drift("sqldb/disk-full") // restore ran into a full disk
+	ep := r.End(time.Second, OutcomeLost, "restore")
+	if ep.Mechanism != "sqldb/disk-full" || ep.Class != "EDN" {
+		t.Fatalf("drift not applied: %+v", ep)
+	}
+}
+
+func TestRecorderFlushClosesOpenEpisodeAsLost(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(time.Second, "op", "m")
+	ep := r.Flush(3 * time.Second)
+	if ep == nil || ep.Outcome != OutcomeLost || ep.Duration() != 2*time.Second {
+		t.Fatalf("Flush = %+v, want lost episode of 2s", ep)
+	}
+	if r.Flush(4*time.Second) != nil {
+		t.Fatal("second Flush found an episode")
+	}
+}
+
+func TestJSONLRoundTripByteIdentical(t *testing.T) {
+	eps := fixtureEpisodes(t)
+	var first bytes.Buffer
+	if err := WriteJSONL(&first, eps); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteJSONL(&second, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("round trip not byte-identical\n--- first ---\n%s\n--- second ---\n%s",
+			first.Bytes(), second.Bytes())
+	}
+}
+
+func TestReadJSONLRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "nope\n",
+		"unknown field":   `{"episode":1,"outcome":"lost","start_us":0,"end_us":0,"surprise":true}` + "\n",
+		"no outcome":      `{"episode":1,"start_us":0,"end_us":0}` + "\n",
+		"bad outcome":     `{"episode":1,"outcome":"mangled","start_us":0,"end_us":0}` + "\n",
+		"negative id":     `{"episode":-1,"outcome":"lost","start_us":0,"end_us":0}` + "\n",
+		"ends before":     `{"episode":1,"outcome":"lost","start_us":5,"end_us":1}` + "\n",
+		"span no kind":    `{"episode":1,"outcome":"lost","start_us":0,"end_us":0,"spans":[{"start_us":0,"end_us":0}]}` + "\n",
+		"span ends early": `{"episode":1,"outcome":"lost","start_us":0,"end_us":0,"spans":[{"kind":"retry","start_us":5,"end_us":1}]}` + "\n",
+	}
+	for name, raw := range cases {
+		if _, err := ReadJSONL(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Blank lines are tolerated.
+	good := `{"episode":1,"outcome":"lost","start_us":0,"end_us":0}` + "\n\n"
+	eps, err := ReadJSONL(strings.NewReader(good))
+	if err != nil || len(eps) != 1 {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+}
+
+func TestBeginClosesStrayOpenEpisode(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0, "op1", "m1")
+	r.Begin(time.Second, "op2", "m2") // op1 never reached a verdict
+	r.End(2*time.Second, OutcomeRecovered, "retry")
+	eps := r.Episodes()
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(eps))
+	}
+	if eps[0].Outcome != OutcomeLost {
+		t.Errorf("stray episode outcome = %q, want lost", eps[0].Outcome)
+	}
+}

@@ -170,6 +170,10 @@ func (k TraceEventKind) String() string {
 type TraceEvent struct {
 	// Kind is the event kind.
 	Kind TraceEventKind
+	// At is the environment's monotonic virtual clock reading when the event
+	// was emitted — deterministic for a seeded environment, so traces built
+	// from these events are byte-stable across runs.
+	At time.Duration
 	// Op is the workload operation involved.
 	Op string
 	// Attempt is the retry attempt number (0 for the initial failure).
@@ -231,6 +235,7 @@ func NewManager(policy Policy) *Manager {
 // itself — including recoveries that make things worse — lands in Outcome.
 func (m *Manager) Run(app Application, sc faultinject.Scenario, strat Strategy) (Outcome, error) {
 	out := Outcome{Mechanism: sc.Mechanism, Strategy: strat}
+	env := app.Env()
 	if err := app.Start(); err != nil {
 		return out, fmt.Errorf("recovery: start %s: %w", app.Name(), err)
 	}
@@ -256,7 +261,7 @@ func (m *Manager) Run(app Application, sc faultinject.Scenario, strat Strategy) 
 		if out.FirstFailure == nil {
 			out.FirstFailure = fe
 		}
-		m.trace(TraceEvent{Kind: TraceFailure, Op: op.Name, Err: fe})
+		m.trace(env, TraceEvent{Kind: TraceFailure, Op: op.Name, Err: fe})
 		if strat == StrategyNone {
 			out.Err = fe
 			return out, nil
@@ -265,7 +270,7 @@ func (m *Manager) Run(app Application, sc faultinject.Scenario, strat Strategy) 
 		recovered := false
 		for attempt := 1; attempt <= m.policy.MaxRetries; attempt++ {
 			out.Attempts++
-			m.trace(TraceEvent{Kind: TraceRecover, Op: op.Name, Attempt: attempt})
+			m.trace(env, TraceEvent{Kind: TraceRecover, Op: op.Name, Attempt: attempt})
 			if rerr := m.recover(app, snapshot, strat, fe, attempt); rerr != nil {
 				out.Err = fmt.Errorf("recovery failed on attempt %d: %w", attempt, rerr)
 				return out, nil
@@ -274,10 +279,10 @@ func (m *Manager) Run(app Application, sc faultinject.Scenario, strat Strategy) 
 			if retryErr == nil {
 				recovered = true
 				out.Recoveries++
-				m.trace(TraceEvent{Kind: TraceRetryOK, Op: op.Name, Attempt: attempt})
+				m.trace(env, TraceEvent{Kind: TraceRetryOK, Op: op.Name, Attempt: attempt})
 				break
 			}
-			m.trace(TraceEvent{Kind: TraceRetryFail, Op: op.Name, Attempt: attempt, Err: retryErr})
+			m.trace(env, TraceEvent{Kind: TraceRetryFail, Op: op.Name, Attempt: attempt, Err: retryErr})
 			if rfe, ok := faultinject.AsFailure(retryErr); ok {
 				fe = rfe
 				continue
@@ -288,7 +293,7 @@ func (m *Manager) Run(app Application, sc faultinject.Scenario, strat Strategy) 
 			return out, nil
 		}
 		if !recovered {
-			m.trace(TraceEvent{Kind: TraceGaveUp, Op: op.Name, Attempt: m.policy.MaxRetries, Err: fe})
+			m.trace(env, TraceEvent{Kind: TraceGaveUp, Op: op.Name, Attempt: m.policy.MaxRetries, Err: fe})
 			out.Err = fe
 			return out, nil
 		}
@@ -297,9 +302,12 @@ func (m *Manager) Run(app Application, sc faultinject.Scenario, strat Strategy) 
 	return out, nil
 }
 
-// trace emits an event to the policy's trace hook, when one is set.
-func (m *Manager) trace(ev TraceEvent) {
+// trace emits an event to the policy's trace hook, when one is set, stamped
+// with the environment's monotonic clock. Nothing is computed when tracing
+// is disabled.
+func (m *Manager) trace(env *simenv.Env, ev TraceEvent) {
 	if m.policy.Trace != nil {
+		ev.At = env.Monotonic()
 		m.policy.Trace(ev)
 	}
 }

@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -53,6 +54,31 @@ func (p Proportion) Wilson() (lo, hi float64) {
 		hi = 1
 	}
 	return lo, hi
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the sample by linear
+// interpolation between order statistics (the R-7/Excel definition). The
+// input slice is not modified and need not be sorted. An empty sample
+// returns 0; q outside [0,1] is clamped.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // ChiSquare computes the chi-square statistic of an observed contingency

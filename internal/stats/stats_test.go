@@ -118,3 +118,27 @@ func TestStackedBars(t *testing.T) {
 		t.Errorf("missing bucket total:\n%s", out)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose: Quantile must not mutate
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-sample quantile = %v, want 7", got)
+	}
+}

@@ -89,6 +89,9 @@ const (
 	EventShed
 	// EventGiveUp is an operation abandoned.
 	EventGiveUp
+	// EventCheckpoint is an application state snapshot being taken: the
+	// initial checkpoint at Run start and each epoch refresh thereafter.
+	EventCheckpoint
 )
 
 // String names the event kind.
@@ -118,6 +121,8 @@ func (k EventKind) String() string {
 		return "shed"
 	case EventGiveUp:
 		return "gave-up"
+	case EventCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -127,6 +132,11 @@ func (k EventKind) String() string {
 type Event struct {
 	// Kind is the event kind.
 	Kind EventKind
+	// At is the supervisor clock's reading when the event was emitted — a
+	// monotonic virtual timestamp, deterministic for a deterministic clock.
+	// Backoff events are stamped at the start of the sleep (At + Delay is the
+	// wake time); every other event is stamped when it happens.
+	At time.Duration
 	// Op is the workload operation involved.
 	Op string
 	// Mechanism is the fault mechanism involved, when known.
@@ -139,6 +149,17 @@ type Event struct {
 	Delay time.Duration
 	// Err is the error involved, when any.
 	Err error
+}
+
+// durQuantile computes a duration quantile (rounded to the microsecond, the
+// trace schema's resolution) over an episode-duration sample.
+func durQuantile(ds []time.Duration, q float64) time.Duration {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	sec := stats.Quantile(xs, q)
+	return (time.Duration(sec*1e6) * time.Microsecond).Round(time.Microsecond)
 }
 
 // MechStats are the per-mechanism supervisor counters.
@@ -184,6 +205,17 @@ type Report struct {
 	CrashLoopTrips int
 	// BackoffTotal is the cumulative time slept in backoff.
 	BackoffTotal time.Duration
+	// EpisodeDurations holds one entry per failure episode: the virtual time
+	// from the failing operation's dispatch to the supervisor's final
+	// decision about it (served, shed, or abandoned). The end stamp is taken
+	// at decision time — after every backoff slept and every watchdog charge
+	// incurred on the way to the verdict — so an episode that ends mid-ladder
+	// still accounts for its final backoff. The percentile lines in String
+	// and the MTTR column in the telemetry summary are computed from these.
+	EpisodeDurations []time.Duration
+	// RepairDurations is the subset of EpisodeDurations whose operation was
+	// eventually served — the sample behind mean-time-to-repair.
+	RepairDurations []time.Duration
 	// Breakers is the final state of every mechanism breaker.
 	Breakers []BreakerStatus
 }
@@ -231,6 +263,17 @@ func (r *Report) String() string {
 	}
 	if r.BackoffTotal > 0 {
 		fmt.Fprintf(&b, "  total backoff: %s\n", r.BackoffTotal)
+	}
+	if len(r.EpisodeDurations) > 0 {
+		fmt.Fprintf(&b, "  episodes: %d, duration p50=%s p90=%s max=%s\n",
+			len(r.EpisodeDurations),
+			durQuantile(r.EpisodeDurations, 0.50), durQuantile(r.EpisodeDurations, 0.90),
+			durQuantile(r.EpisodeDurations, 1))
+	}
+	if len(r.RepairDurations) > 0 {
+		fmt.Fprintf(&b, "  MTTR (served episodes): p50=%s p90=%s max=%s\n",
+			durQuantile(r.RepairDurations, 0.50), durQuantile(r.RepairDurations, 0.90),
+			durQuantile(r.RepairDurations, 1))
 	}
 	if len(r.Escalations) > 0 {
 		parts := make([]string, 0, len(r.Escalations))

@@ -231,6 +231,7 @@ func (s *Supervisor) Run(ops []Op) (*Report, error) {
 	}
 	s.epoch = snap
 	s.sinceEpoch = 0
+	s.trace(Event{Kind: EventCheckpoint})
 
 	for i, op := range ops {
 		s.report.OpsTotal++
@@ -243,15 +244,26 @@ func (s *Supervisor) Run(ops []Op) (*Report, error) {
 		if err != nil {
 			return s.report, fmt.Errorf("supervise: checkpoint before %q: %w", op.Name, err)
 		}
+		// The episode clock starts at dispatch: a hang the watchdog has to
+		// charge before the failure is even classified belongs to the
+		// episode's repair time.
+		dispatchedAt := s.clock.Now()
 		opErr := s.execute(op)
 		if opErr == nil {
-			s.opServed(preOp)
+			s.opServed(op, preOp)
 			continue
 		}
 		if s.report.FirstFailureOp == 0 {
 			s.report.FirstFailureOp = i + 1
 		}
-		switch s.superviseOp(i, op, preOp, opErr) {
+		res := s.superviseOp(i, op, preOp, opErr)
+		// Stamp the episode's end at decision time — the clock reading at
+		// which the verdict landed. Reading the clock here (not at the last
+		// recovery action) is load-bearing: an episode that ends mid-ladder
+		// has already slept its final backoff and charged its watchdog
+		// timeouts, and the duration percentiles must include that time.
+		s.endEpisode(dispatchedAt, res)
+		switch res {
 		case opRecovered:
 			s.report.OpsOK++
 			s.report.Recovered++
@@ -265,14 +277,25 @@ func (s *Supervisor) Run(ops []Op) (*Report, error) {
 	return s.report, nil
 }
 
+// endEpisode accounts one failure episode's duration, end-stamped at
+// decision time.
+func (s *Supervisor) endEpisode(dispatchedAt time.Duration, res opResult) {
+	dur := s.clock.Now() - dispatchedAt
+	s.report.EpisodeDurations = append(s.report.EpisodeDurations, dur)
+	if res == opRecovered {
+		s.report.RepairDurations = append(s.report.RepairDurations, dur)
+	}
+}
+
 // opServed accounts a cleanly served op and refreshes the epoch checkpoint
 // on cadence. preOp — taken immediately before the op — is known good.
-func (s *Supervisor) opServed(preOp []byte) {
+func (s *Supervisor) opServed(op Op, preOp []byte) {
 	s.report.OpsOK++
 	s.sinceEpoch++
 	if s.sinceEpoch >= s.cfg.CheckpointEvery {
 		s.epoch = preOp
 		s.sinceEpoch = 0
+		s.trace(Event{Kind: EventCheckpoint, Op: op.Name})
 	}
 }
 
@@ -288,7 +311,7 @@ const (
 // superviseOp walks one failing operation through the escalation ladder.
 func (s *Supervisor) superviseOp(idx int, op Op, preOp []byte, initial error) opResult {
 	mech := s.classify(initial)
-	s.noteFailure(op, mech, initial)
+	s.noteFailure(op, mech, 0, initial)
 
 	if !s.breakers.allow(mech, s.clock.Now()) {
 		s.report.mech(mech).FastFails++
@@ -346,7 +369,7 @@ func (s *Supervisor) superviseOp(idx int, op Op, preOp []byte, initial error) op
 		if newMech != mech {
 			mech = newMech
 		}
-		s.noteFailure(op, mech, retryErr)
+		s.noteFailure(op, mech, rung, retryErr)
 		lastFE, _ = faultinject.AsFailure(retryErr)
 
 		if s.breakers.failure(mech, s.clock.Now()) {
@@ -513,10 +536,12 @@ func (s *Supervisor) noteRetry() {
 	s.retryLog = append(s.retryLog, s.clock.Now())
 }
 
-// noteFailure records one observed failure in the report.
-func (s *Supervisor) noteFailure(op Op, mech string, err error) {
+// noteFailure records one observed failure in the report. rung is the
+// ladder rung whose retry just failed, or zero for the initial failure
+// that opens the episode.
+func (s *Supervisor) noteFailure(op Op, mech string, rung Rung, err error) {
 	s.report.mech(mech).Failures++
-	s.trace(Event{Kind: EventFailure, Op: op.Name, Mechanism: mech, Err: err})
+	s.trace(Event{Kind: EventFailure, Op: op.Name, Mechanism: mech, Rung: rung, Err: err})
 }
 
 // classify maps an error to its fault mechanism key.
@@ -535,8 +560,11 @@ func (s *Supervisor) classify(err error) string {
 	return MechUnmodeled
 }
 
+// trace emits an event to the configured hook, stamping it with the
+// supervisor clock. Nothing is computed when no hook is configured.
 func (s *Supervisor) trace(ev Event) {
 	if s.cfg.Trace != nil {
+		ev.At = s.clock.Now()
 		s.cfg.Trace(ev)
 	}
 }

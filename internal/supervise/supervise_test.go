@@ -548,3 +548,73 @@ func TestBackoffNilRandDisablesJitter(t *testing.T) {
 		}
 	}
 }
+
+// TestEpisodeDurationStampedAtDecisionTime is the regression test for the
+// percentile misreport: an episode's duration must be stamped when the
+// supervisor reaches its verdict — after every backoff slept and every
+// watchdog charge incurred — not when the last recovery action ran. An
+// episode that ends mid-ladder (crash-loop trip into a shed) previously
+// excluded its trailing watchdog charge from the percentile sample.
+func TestEpisodeDurationStampedAtDecisionTime(t *testing.T) {
+	const hangCharge = 30 * time.Second
+
+	// Served case: one hang, one backoff, then success. The repair duration
+	// must be hang + first backoff exactly.
+	srv, _ := httpdUnder(t, httpd.MechNullDeref, 7) // mechanism unused; no scenario ops run
+	failures := 1
+	op := Op{Name: "flaky", Kind: OpRead, Do: func() error {
+		if failures > 0 {
+			failures--
+			return faultinject.Fail("httpd/test-hang", taxonomy.SymptomHang, "wedged")
+		}
+		return nil
+	}}
+	cfg := Config{
+		WatchdogTimeout: hangCharge,
+		BackoffBase:     time.Second,
+		BackoffJitter:   -1, // exact schedule
+		RungAttempts:    1,
+	}
+	sup := New(srv, cfg)
+	rep, err := sup.Run([]Op{op})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantServed := hangCharge + time.Second // initial hang charge + backoff(1)
+	if len(rep.EpisodeDurations) != 1 || rep.EpisodeDurations[0] != wantServed {
+		t.Fatalf("EpisodeDurations = %v, want [%s]", rep.EpisodeDurations, wantServed)
+	}
+	if len(rep.RepairDurations) != 1 || rep.RepairDurations[0] != wantServed {
+		t.Fatalf("RepairDurations = %v, want [%s]", rep.RepairDurations, wantServed)
+	}
+	if s := rep.String(); !strings.Contains(s, "episodes: 1") || !strings.Contains(s, "MTTR (served episodes)") {
+		t.Fatalf("report missing episode percentiles:\n%s", s)
+	}
+
+	// Mid-ladder case: the op always hangs and the retry budget is 1, so the
+	// second budget check trips the crash loop and the write is shed at the
+	// degraded rung. The episode's duration must still include the retry's
+	// trailing watchdog charge: hang + backoff(1) + hang.
+	srv2, _ := httpdUnder(t, httpd.MechNullDeref, 8)
+	always := Op{Name: "wedged-write", Kind: OpWrite, Do: func() error {
+		return faultinject.Fail("httpd/test-hang", taxonomy.SymptomHang, "wedged")
+	}}
+	cfg2 := cfg
+	cfg2.RetryBudget = 1
+	sup2 := New(srv2, cfg2)
+	rep2, err := sup2.Run([]Op{always})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep2.OpsShed != 1 {
+		t.Fatalf("OpsShed = %d, want 1 (crash loop should shed the write)", rep2.OpsShed)
+	}
+	wantShed := hangCharge + time.Second + hangCharge
+	if len(rep2.EpisodeDurations) != 1 || rep2.EpisodeDurations[0] != wantShed {
+		t.Fatalf("EpisodeDurations = %v, want [%s] (must include the trailing watchdog charge)",
+			rep2.EpisodeDurations, wantShed)
+	}
+	if len(rep2.RepairDurations) != 0 {
+		t.Fatalf("RepairDurations = %v, want empty (op was shed, not served)", rep2.RepairDurations)
+	}
+}

@@ -14,6 +14,23 @@ import (
 	"faultstudy/internal/apps/httpd"
 )
 
+// Hook observes workload generation, one call per generated item: stream is
+// the generator ("http", "sql", "desktop") and category the item's kind
+// within it ("static", "insert", "set-cell", ...). A nil Hook is legal
+// everywhere and costs one branch — the observability layer's workload-mix
+// metrics attach here without the generators knowing about metrics.
+type Hook interface {
+	// Generated reports one generated workload item.
+	Generated(stream, category string)
+}
+
+// emit notifies a hook when one is attached.
+func emit(h Hook, stream, category string) {
+	if h != nil {
+		h.Generated(stream, category)
+	}
+}
+
 // HTTPMix weights the request categories of the web workload.
 type HTTPMix struct {
 	// Static is the weight of plain document requests.
@@ -38,6 +55,13 @@ func (m HTTPMix) total() int { return m.Static + m.Listing + m.CGI + m.Proxy + m
 
 // HTTPRequests generates n requests with the given mix.
 func HTTPRequests(seed int64, mix HTTPMix, n int) []httpd.Request {
+	return HTTPRequestsObserved(seed, mix, n, nil)
+}
+
+// HTTPRequestsObserved is HTTPRequests with a generation hook: each request
+// is reported to h (when non-nil) under stream "http" with its mix category.
+// The request stream is identical to HTTPRequests for the same arguments.
+func HTTPRequestsObserved(seed int64, mix HTTPMix, n int, h Hook) []httpd.Request {
 	if mix.total() == 0 {
 		mix = DefaultHTTPMix()
 	}
@@ -48,14 +72,19 @@ func HTTPRequests(seed int64, mix HTTPMix, n int) []httpd.Request {
 		switch {
 		case r < mix.Static:
 			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/index.html"})
+			emit(h, "http", "static")
 		case r < mix.Static+mix.Listing:
 			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/pub/"})
+			emit(h, "http", "listing")
 		case r < mix.Static+mix.Listing+mix.CGI:
 			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/cgi-bin/env"})
+			emit(h, "http", "cgi")
 		case r < mix.Static+mix.Listing+mix.CGI+mix.Proxy:
 			reqs = append(reqs, httpd.Request{Method: "GET", Path: "/proxy/page"})
+			emit(h, "http", "proxy")
 		default:
 			reqs = append(reqs, httpd.Request{Method: "GET", Path: fmt.Sprintf("/missing-%d", i)})
+			emit(h, "http", "not-found")
 		}
 	}
 	return reqs
@@ -65,25 +94,40 @@ func HTTPRequests(seed int64, mix HTTPMix, n int) []httpd.Request {
 // single table. The first statements create and index the table; the rest
 // are drawn from the mix. All statements are valid against the schema.
 func SQLStatements(seed int64, n int) []string {
+	return SQLStatementsObserved(seed, n, nil)
+}
+
+// SQLStatementsObserved is SQLStatements with a generation hook: each
+// statement is reported to h (when non-nil) under stream "sql" with its
+// statement kind. The statement stream is identical to SQLStatements for the
+// same arguments.
+func SQLStatementsObserved(seed int64, n int, h Hook) []string {
 	rng := rand.New(rand.NewSource(seed))
 	stmts := []string{
 		"CREATE TABLE load (k INT, payload TEXT)",
 		"CREATE INDEX load_k ON load (k)",
 	}
+	emit(h, "sql", "create")
+	emit(h, "sql", "create")
 	inserted := 0
 	for len(stmts) < n {
 		switch rng.Intn(10) {
 		case 0, 1, 2, 3: // 40% inserts
 			inserted++
 			stmts = append(stmts, fmt.Sprintf("INSERT INTO load VALUES (%d, 'p%d')", inserted, inserted))
+			emit(h, "sql", "insert")
 		case 4, 5, 6: // 30% selects
 			stmts = append(stmts, fmt.Sprintf("SELECT * FROM load WHERE k <= %d ORDER BY k LIMIT 10", rng.Intn(inserted+1)))
+			emit(h, "sql", "select")
 		case 7: // counts
 			stmts = append(stmts, "SELECT COUNT(*) FROM load")
+			emit(h, "sql", "count")
 		case 8: // updates
 			stmts = append(stmts, fmt.Sprintf("UPDATE load SET payload = 'u' WHERE k = %d", rng.Intn(inserted+1)))
+			emit(h, "sql", "update")
 		default: // deletes
 			stmts = append(stmts, fmt.Sprintf("DELETE FROM load WHERE k = %d", rng.Intn(inserted+1)))
+			emit(h, "sql", "delete")
 		}
 	}
 	return stmts
@@ -91,24 +135,35 @@ func SQLStatements(seed int64, n int) []string {
 
 // DesktopEvents generates a stream of benign desktop interactions.
 func DesktopEvents(seed int64, n int) []desktop.Event {
+	return DesktopEventsObserved(seed, n, nil)
+}
+
+// DesktopEventsObserved is DesktopEvents with a generation hook: each event
+// is reported to h (when non-nil) under stream "desktop" with its action
+// name. The event stream is identical to DesktopEvents for the same
+// arguments.
+func DesktopEventsObserved(seed int64, n int, h Hook) []desktop.Event {
 	rng := rand.New(rand.NewSource(seed))
 	evs := make([]desktop.Event, 0, n)
 	for i := 0; i < n; i++ {
+		var ev desktop.Event
 		switch rng.Intn(6) {
 		case 0:
-			evs = append(evs, desktop.Event{Widget: "calendar", Action: "next"})
+			ev = desktop.Event{Widget: "calendar", Action: "next"}
 		case 1:
-			evs = append(evs, desktop.Event{Widget: "gnumeric", Action: "set-cell",
-				Arg: fmt.Sprintf("A%d=%d", i%100, rng.Intn(1000))})
+			ev = desktop.Event{Widget: "gnumeric", Action: "set-cell",
+				Arg: fmt.Sprintf("A%d=%d", i%100, rng.Intn(1000))}
 		case 2:
-			evs = append(evs, desktop.Event{Widget: "gmc", Action: "open", Arg: "notes.txt"})
+			ev = desktop.Event{Widget: "gmc", Action: "open", Arg: "notes.txt"}
 		case 3:
-			evs = append(evs, desktop.Event{Widget: "panel", Action: "open-main-menu"})
+			ev = desktop.Event{Widget: "panel", Action: "open-main-menu"}
 		case 4:
-			evs = append(evs, desktop.Event{Widget: "panel", Action: "click-desktop"})
+			ev = desktop.Event{Widget: "panel", Action: "click-desktop"}
 		default:
-			evs = append(evs, desktop.Event{Widget: "session", Action: "play-sound"})
+			ev = desktop.Event{Widget: "session", Action: "play-sound"}
 		}
+		evs = append(evs, ev)
+		emit(h, "desktop", ev.Action)
 	}
 	return evs
 }
