@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"faultstudy"
+	"faultstudy/internal/parallel"
+)
+
+// BenchArm is one measured worker count of one experiment.
+type BenchArm struct {
+	// Workers is the pool size measured.
+	Workers int `json:"workers"`
+	// WallMS is the best-of-reps wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Speedup is the serial arm's wall time divided by this arm's.
+	Speedup float64 `json:"speedup"`
+	// IdenticalToSerial reports whether the arm's full output (report,
+	// episode trace, Prometheus dump) is byte-identical to the workers=1
+	// arm — the engine's determinism contract, checked on every bench run.
+	IdenticalToSerial bool `json:"identical_to_serial"`
+}
+
+// BenchExperiment is one experiment's sweep over worker counts.
+type BenchExperiment struct {
+	// Name identifies the experiment ("supervised-matrix", "soak").
+	Name string `json:"name"`
+	// Shards is how many independent shards the experiment decomposes into
+	// (the parallelism ceiling).
+	Shards int `json:"shards"`
+	// Arms holds one entry per measured worker count, serial first.
+	Arms []BenchArm `json:"arms"`
+	// BestSpeedup is the largest speedup across arms.
+	BestSpeedup float64 `json:"best_speedup"`
+}
+
+// BenchReport is the BENCH_parallel.json artifact schema.
+type BenchReport struct {
+	// Experiment names the benchmark family.
+	Experiment string `json:"experiment"`
+	// Seed is the root seed every run used.
+	Seed int64 `json:"seed"`
+	// NumCPU and GoMaxProcs describe the hardware the numbers were taken
+	// on — a 1-processor container cannot show wall-clock speedup no matter
+	// how well the engine shards, so readers must interpret Speedup
+	// against these.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"go_max_procs"`
+	// Reps is the repetitions per arm (best wall time is reported).
+	Reps int `json:"reps"`
+	// Target documents the acceptance bar for this artifact.
+	Target string `json:"target"`
+	// Experiments holds the measured sweeps.
+	Experiments []BenchExperiment `json:"experiments"`
+}
+
+// benchOutput is one run's complete observable output, used both for timing
+// and for the byte-identity check.
+type benchOutput struct {
+	report []byte
+	trace  []byte
+	prom   []byte
+}
+
+// equal compares two outputs byte-for-byte.
+func (o benchOutput) equal(other benchOutput) bool {
+	return bytes.Equal(o.report, other.report) &&
+		bytes.Equal(o.trace, other.trace) &&
+		bytes.Equal(o.prom, other.prom)
+}
+
+// runSupervisedArm runs the telemetry-instrumented supervised matrix at one
+// worker count and returns its full output.
+func runSupervisedArm(seed int64, workers int) (benchOutput, error) {
+	tel := faultstudy.NewTelemetry()
+	matrix, err := faultstudy.RunRecoveryMatrixWorkers(faultstudy.RecoveryPolicy{}, seed, workers)
+	if err != nil {
+		return benchOutput{}, err
+	}
+	cfg := faultstudy.SupervisorConfig{GrowResources: true}
+	if err := matrix.AddSupervisedWorkers(seed, cfg, tel, workers); err != nil {
+		return benchOutput{}, err
+	}
+	return collectOutput(tel, []byte(matrix.String()))
+}
+
+// runSoakArm runs the telemetry-instrumented soak at one worker count.
+func runSoakArm(seed int64, workers int) (benchOutput, error) {
+	tel := faultstudy.NewTelemetry()
+	results, err := faultstudy.RunSoak(faultstudy.SoakConfig{
+		Ops: 600, Faults: 3, Seed: seed,
+		Supervise: faultstudy.SupervisorConfig{GrowResources: true},
+		Telemetry: tel,
+		Workers:   workers,
+	})
+	if err != nil {
+		return benchOutput{}, err
+	}
+	return collectOutput(tel, []byte(faultstudy.RenderSoak(results)))
+}
+
+// collectOutput bundles a run's report with its trace and metric dumps.
+func collectOutput(tel *faultstudy.Telemetry, report []byte) (benchOutput, error) {
+	var trace, prom bytes.Buffer
+	if err := tel.WriteTrace(&trace); err != nil {
+		return benchOutput{}, err
+	}
+	if err := tel.WritePrometheus(&prom); err != nil {
+		return benchOutput{}, err
+	}
+	return benchOutput{report: report, trace: trace.Bytes(), prom: prom.Bytes()}, nil
+}
+
+// benchArms are the worker counts measured, serial first; the engine's
+// default pool size (one worker per processor, parallel.Workers' rule for 0)
+// is appended when it is not already an arm.
+func benchArms() []int {
+	arms := []int{1, 2, 4, 8}
+	n := parallel.Workers(0)
+	for _, a := range arms {
+		if a == n {
+			return arms
+		}
+	}
+	return append(arms, n)
+}
+
+// measureExperiment sweeps one experiment over the bench arms.
+func measureExperiment(name string, shards, reps int, seed int64,
+	run func(seed int64, workers int) (benchOutput, error)) (BenchExperiment, error) {
+	exp := BenchExperiment{Name: name, Shards: shards}
+	var serial benchOutput
+	var serialMS float64
+	for _, workers := range benchArms() {
+		var best time.Duration
+		var out benchOutput
+		for r := 0; r < reps; r++ {
+			start := time.Now() //faultlint:ignore wallclock the bench measures real wall-clock speedup; determinism is checked on the outputs, not the timings
+			o, err := run(seed, workers)
+			elapsed := time.Since(start) //faultlint:ignore wallclock see above
+
+			if err != nil {
+				return exp, fmt.Errorf("%s workers=%d: %w", name, workers, err)
+			}
+			if r == 0 || elapsed < best {
+				best = elapsed
+			}
+			out = o
+		}
+		arm := BenchArm{Workers: workers, WallMS: float64(best.Microseconds()) / 1000}
+		if workers == 1 {
+			serial, serialMS = out, arm.WallMS
+			arm.Speedup = 1
+			arm.IdenticalToSerial = true
+		} else {
+			if arm.WallMS > 0 {
+				arm.Speedup = serialMS / arm.WallMS
+			}
+			arm.IdenticalToSerial = out.equal(serial)
+			if !arm.IdenticalToSerial {
+				return exp, fmt.Errorf("%s workers=%d: output differs from serial run — determinism contract broken", name, workers)
+			}
+		}
+		if arm.Speedup > exp.BestSpeedup {
+			exp.BestSpeedup = arm.Speedup
+		}
+		exp.Arms = append(exp.Arms, arm)
+	}
+	return exp, nil
+}
+
+// runBenchParallel measures the parallel engine's wall-clock speedup over
+// the supervised-matrix and soak sweeps, verifies the worker-count
+// determinism contract on every arm, and writes the BENCH_parallel.json
+// artifact. It fails hard when any arm's output differs from the serial run.
+func runBenchParallel(path string, seed int64) error {
+	const reps = 3
+	rep := BenchReport{
+		Experiment: "parallel-engine",
+		Seed:       seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Target:     ">=3x wall-clock speedup at 8 workers on 4+ cores; byte-identical output at every worker count",
+	}
+	supervised, err := measureExperiment("supervised-matrix", len(faultstudy.Corpus()), reps, seed, runSupervisedArm)
+	if err != nil {
+		return err
+	}
+	rep.Experiments = append(rep.Experiments, supervised)
+	soak, err := measureExperiment("soak", 3, reps, seed, runSoakArm)
+	if err != nil {
+		return err
+	}
+	rep.Experiments = append(rep.Experiments, soak)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	for _, e := range rep.Experiments {
+		fmt.Printf("%s: %d shards, best speedup %.2fx on %d procs (outputs identical at every worker count)\n",
+			e.Name, e.Shards, e.BestSpeedup, rep.GoMaxProcs)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

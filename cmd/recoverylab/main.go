@@ -14,10 +14,18 @@
 //	recoverylab -soak -trace soak.jsonl         # write the episode trace as JSONL
 //	recoverylab -checktrace soak.jsonl          # validate a trace file's schema
 //	recoverylab -lint                           # faultlint static classification vs seeded truth
+//	recoverylab -supervised -workers 8          # shard the sweep over 8 workers
+//	recoverylab -benchpar BENCH_parallel.json   # measure the engine's speedup
 //
 // The telemetry flags (-metrics, -trace, -prom, -timeline) attach the
 // observability layer (internal/obsv) to whichever experiment runs; see
 // OBSERVABILITY.md for the metric catalogue and the trace schema.
+//
+// -workers shards the matrix, supervised, soak, and lint sweeps over a
+// bounded worker pool (0, the default, means one worker per processor).
+// Output is byte-identical at every worker count: shards derive their seeds
+// from the root seed and the shard index alone and are reduced in shard
+// order (DESIGN.md §9).
 package main
 
 import (
@@ -61,11 +69,16 @@ func run() error {
 		promOut    = flag.String("prom", "", "write the metrics registry to this file in Prometheus text format")
 		timeline   = flag.Bool("timeline", false, "print human-readable episode timelines")
 		checkTrace = flag.String("checktrace", "", "validate a JSONL episode trace file and exit")
+		workers    = flag.Int("workers", 0, "worker pool size for the sharded sweeps (0 = one per processor)")
+		benchPar   = flag.String("benchpar", "", "measure the parallel engine's speedup and write the JSON artifact to this file")
 	)
 	flag.Parse()
 
 	if *checkTrace != "" {
 		return runCheckTrace(*checkTrace)
+	}
+	if *benchPar != "" {
+		return runBenchParallel(*benchPar, *seed)
 	}
 
 	// The telemetry sinks are created only when some flag consumes them; a
@@ -96,7 +109,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		report, err := experiment.RunLint(root)
+		report, err := experiment.RunLintWorkers(root, *workers)
 		if err != nil {
 			return err
 		}
@@ -108,6 +121,7 @@ func run() error {
 			Seed:      *seed,
 			Supervise: faultstudy.SupervisorConfig{GrowResources: *grow},
 			Telemetry: tel,
+			Workers:   *workers,
 		})
 		if err != nil {
 			return err
@@ -147,13 +161,13 @@ func run() error {
 		}
 		fmt.Print(mitAb)
 	default:
-		matrix, err := faultstudy.RunRecoveryMatrix(policy, *seed)
+		matrix, err := faultstudy.RunRecoveryMatrixWorkers(policy, *seed, *workers)
 		if err != nil {
 			return err
 		}
 		if *supCol {
 			cfg := faultstudy.SupervisorConfig{GrowResources: *grow}
-			if err := matrix.AddSupervisedObserved(*seed, cfg, tel); err != nil {
+			if err := matrix.AddSupervisedWorkers(*seed, cfg, tel, *workers); err != nil {
 				return err
 			}
 		}

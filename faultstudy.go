@@ -283,6 +283,14 @@ func RunRecoveryMatrix(policy RecoveryPolicy, seed int64) (*RecoveryMatrix, erro
 	return experiment.RunMatrix(policy, seed)
 }
 
+// RunRecoveryMatrixWorkers is RunRecoveryMatrix sharded fault-by-fault over
+// a bounded worker pool (workers ≤ 0 means one per processor). The matrix is
+// byte-identical at every worker count; see internal/parallel for the
+// determinism contract.
+func RunRecoveryMatrixWorkers(policy RecoveryPolicy, seed int64, workers int) (*RecoveryMatrix, error) {
+	return experiment.RunMatrixWorkers(policy, seed, workers)
+}
+
 // TableResult is one regenerated classification table.
 type TableResult = experiment.TableResult
 

@@ -1,0 +1,64 @@
+package debbugs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDebbugs drives the debbugs log parser with arbitrary input. The
+// invariants: Parse never panics, never returns (nil, nil), an accepted log
+// always has a bug number and a synopsis derived per the documented rule, and
+// follow-ups are never blank.
+func FuzzParseDebbugs(f *testing.F) {
+	f.Add(sampleBug)
+	f.Add("Bug: #1\n\nbody\n")
+	f.Add("Bug: #1\nDate: not a date\n\n\nMessage #2\n\nMessage #3\nx\n")
+	f.Add("Bug: #0\n\nzero is missing\n")
+	f.Add("no colon header\n")
+	f.Add("Bug: #-7\nTags: a b  c\n\n\n")
+	f.Add("")
+	f.Add("Bug: #5\nPackage: panel\n\n\x00\xff\nMessage #2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		b, err := Parse(strings.NewReader(input))
+		if err != nil {
+			if b != nil {
+				t.Fatalf("Parse returned both a Bug and an error: %v", err)
+			}
+			return
+		}
+		if b == nil {
+			t.Fatal("Parse returned (nil, nil)")
+		}
+		if b.Number == 0 {
+			t.Fatal("accepted log has no bug number")
+		}
+		if b.Subject == "" && strings.TrimSpace(b.Body) != "" {
+			t.Fatalf("non-empty body %q but no derived subject", b.Body)
+		}
+		for i, fu := range b.FollowUps {
+			if strings.TrimSpace(fu) == "" {
+				t.Fatalf("follow-up %d is blank", i)
+			}
+		}
+	})
+}
+
+// FuzzParseCVSLog drives the CVS log parser with arbitrary input; it must
+// never panic and never emit a commit without a revision.
+func FuzzParseCVSLog(f *testing.F) {
+	f.Add(sampleCVSLog)
+	f.Add("revision 1.1\nFixes bug #3\n")
+	f.Add("revision\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		commits, err := ParseCVSLog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, c := range commits {
+			if c == nil || c.Revision == "" {
+				t.Fatalf("commit %d has no revision", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"faultstudy/internal/recovery"
+	"faultstudy/internal/supervise"
+)
+
+// This file is the property-based half of the parallel engine's verification:
+// for randomly drawn root seeds, every observable output — rendered reports,
+// the JSONL episode trace, the Prometheus export — must be byte-identical at
+// every worker count. The worker counts {1, 2, 8} cover the serial fast path,
+// the smallest real pool, and a pool larger than any shard count divides
+// evenly into.
+
+// workerArms are the pool sizes every property below sweeps.
+var workerArms = []int{1, 2, 8}
+
+// soakFingerprint runs one telemetry-instrumented soak and returns its
+// complete observable output.
+func soakFingerprint(t *testing.T, seed int64, workers int) []byte {
+	t.Helper()
+	tel := NewTelemetry()
+	results, err := RunSoak(SoakConfig{
+		Ops: 120, Faults: 3, Seed: seed,
+		Supervise: supervise.Config{GrowResources: true},
+		Telemetry: tel,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatalf("RunSoak(seed=%d, workers=%d): %v", seed, workers, err)
+	}
+	return fingerprint(t, tel, RenderSoak(results))
+}
+
+// fingerprint concatenates a run's report, trace, and metric export into one
+// comparable byte string.
+func fingerprint(t *testing.T, tel *Telemetry, report string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(report)
+	buf.WriteString("\n--trace--\n")
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	buf.WriteString("\n--prom--\n")
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSoakDeterminismProperty draws 32 random root seeds and checks the soak's
+// full output is byte-identical across worker counts for every one of them.
+func TestSoakDeterminismProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is long; skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	for i := 0; i < 32; i++ {
+		seed := rng.Int63n(1 << 32)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := soakFingerprint(t, seed, workerArms[0])
+			for _, w := range workerArms[1:] {
+				got := soakFingerprint(t, seed, w)
+				if !bytes.Equal(want, got) {
+					t.Errorf("workers=%d output differs from workers=1 (seed %d):\n%s",
+						w, seed, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
+// supervisedFingerprint runs one telemetry-instrumented supervised matrix and
+// returns its complete observable output.
+func supervisedFingerprint(t *testing.T, seed int64, workers int) []byte {
+	t.Helper()
+	tel := NewTelemetry()
+	m, err := RunMatrixWorkers(recovery.Policy{}, seed, workers)
+	if err != nil {
+		t.Fatalf("RunMatrixWorkers(seed=%d, workers=%d): %v", seed, workers, err)
+	}
+	cfg := supervise.Config{GrowResources: true}
+	if err := m.AddSupervisedWorkers(seed, cfg, tel, workers); err != nil {
+		t.Fatalf("AddSupervisedWorkers(seed=%d, workers=%d): %v", seed, workers, err)
+	}
+	return fingerprint(t, tel, m.String())
+}
+
+// TestSupervisedMatrixDeterminismProperty is the matrix-side property: fewer
+// seeds (the matrix is the heavier sweep) but the same all-outputs identity.
+func TestSupervisedMatrixDeterminismProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is long; skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(19990215))
+	for i := 0; i < 4; i++ {
+		seed := rng.Int63n(1 << 32)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := supervisedFingerprint(t, seed, workerArms[0])
+			for _, w := range workerArms[1:] {
+				got := supervisedFingerprint(t, seed, w)
+				if !bytes.Equal(want, got) {
+					t.Errorf("workers=%d output differs from workers=1 (seed %d):\n%s",
+						w, seed, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
+// TestLintDeterminism checks the lint sweep renders identically at every
+// worker count (one seedless analysis; the analyzer result is shared).
+func TestLintDeterminism(t *testing.T) {
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, w := range workerArms {
+		rep, err := RunLintWorkers(root, w)
+		if err != nil {
+			t.Fatalf("RunLintWorkers(workers=%d): %v", w, err)
+		}
+		got := rep.String()
+		if w == workerArms[0] {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d lint report differs:\n%s", w, firstDiff([]byte(want), []byte(got)))
+		}
+	}
+}
+
+// firstDiff renders the first divergence between two outputs with context —
+// a full dump of two multi-kilobyte artifacts would drown the signal.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			at = i
+			break
+		}
+	}
+	if at == n && len(a) == len(b) {
+		return "(no byte difference)"
+	}
+	lo := at - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hiA, hiB := at+80, at+80
+	if hiA > len(a) {
+		hiA = len(a)
+	}
+	if hiB > len(b) {
+		hiB = len(b)
+	}
+	return fmt.Sprintf("first difference at byte %d\n--- a\n…%s…\n--- b\n…%s…", at, a[lo:hiA], b[lo:hiB])
+}

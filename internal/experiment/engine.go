@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+
+	"faultstudy/internal/corpus"
+	"faultstudy/internal/obsv"
+	"faultstudy/internal/parallel"
+	"faultstudy/internal/recovery"
+	"faultstudy/internal/supervise"
+)
+
+// This file is the parallel experiment engine: the fault × strategy × app
+// sweeps sharded over a bounded worker pool (internal/parallel). The
+// determinism contract is worker-count invariance — every report, trace,
+// timeline, and metrics dump an N-worker run produces is byte-identical to
+// the 1-worker (serial) run — and it holds because:
+//
+//   - each shard is one corpus fault (matrix paths) or one application
+//     (soak), with its own freshly seeded environment, application instance,
+//     and supervisor: no shard shares mutable state with another (verified
+//     under -race);
+//   - every seed a shard uses is a pure function of the root seed and the
+//     shard's position, never of scheduling (see parallel.Derive for the
+//     SplitMix64 derivation used where shards need private streams);
+//   - each shard writes into its own obsv sinks, and the engine reduces them
+//     in shard order with Registry.Merge / Recorder.Append, which reproduces
+//     exactly what a serial run sharing one sink would have recorded;
+//   - outcomes land in index-addressed slots, so presentation order is the
+//     corpus order regardless of completion order.
+
+// RunMatrixWorkers is RunMatrix sharded over a worker pool: every corpus
+// fault is one shard, run under every strategy with a fresh environment and
+// application. workers ≤ 0 means one worker per processor. The resulting
+// matrix is byte-identical at every worker count.
+//
+// With workers > 1 the policy's Trace hook, if any, is invoked concurrently
+// from multiple shards; hooks must be safe for concurrent use (the CLI's
+// -steps hook is only attached to single-mechanism runs).
+func RunMatrixWorkers(policy recovery.Policy, seed int64, workers int) (*Matrix, error) {
+	faults := corpus.All()
+	m := &Matrix{
+		Strategies: recovery.Strategies(),
+		PerFault:   make([]FaultOutcome, len(faults)),
+	}
+	err := parallel.ForEach(workers, len(faults), func(i int) error {
+		f := faults[i]
+		mgr := recovery.NewManager(policy)
+		fo := FaultOutcome{
+			FaultID:   f.ID,
+			Mechanism: f.Mechanism,
+			Class:     f.Class,
+			Survived:  make(map[recovery.Strategy]bool, len(m.Strategies)),
+		}
+		for si, strat := range m.Strategies {
+			app, sc, err := BuildScenario(f.Mechanism, seed+int64(si))
+			if err != nil {
+				return fmt.Errorf("experiment: %s: %w", f.ID, err)
+			}
+			out, err := mgr.Run(app, sc, strat)
+			if err != nil {
+				return fmt.Errorf("experiment: %s under %s: %w", f.ID, strat, err)
+			}
+			fo.Survived[strat] = out.Survived
+		}
+		m.PerFault[i] = fo
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AddSupervisedWorkers is the sharded supervised-column run: every corpus
+// fault is one shard with a fresh environment, application, and supervisor.
+// When t is non-nil each shard records into a private telemetry whose
+// metrics and episodes are folded into t in corpus order afterwards, so the
+// merged trace, timeline, summary, and exports are byte-identical at every
+// worker count (workers ≤ 0 means one per processor).
+func (m *Matrix) AddSupervisedWorkers(seed int64, cfg supervise.Config, t *Telemetry, workers int) error {
+	shards := make([]*Telemetry, len(m.PerFault))
+	err := parallel.ForEach(workers, len(m.PerFault), func(i int) error {
+		fo := &m.PerFault[i]
+		app, sc, err := BuildScenario(fo.Mechanism, seed)
+		if err != nil {
+			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
+		}
+		// Start before staging, like the bare-strategy runs: the staged
+		// environmental condition hits a running application.
+		if err := app.Start(); err != nil {
+			return fmt.Errorf("experiment: supervised %s: start: %w", fo.FaultID, err)
+		}
+		if sc.Stage != nil {
+			sc.Stage()
+		}
+		runCfg := cfg
+		var obs *obsv.Observer
+		if t != nil {
+			shards[i] = NewTelemetry()
+			mech, _ := Registry().Lookup(fo.Mechanism)
+			runCfg, obs = shards[i].superviseConfig(cfg, obsv.Context{
+				App:     mech.App.String(),
+				FaultID: fo.FaultID,
+				Class:   fo.Class.Short(),
+			})
+		}
+		sup := supervise.New(app, runCfg)
+		rep, err := sup.Run(wrapScenarioOps(fo.Mechanism, sc.Ops))
+		if err != nil {
+			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
+		}
+		obs.Flush(app.Env().Monotonic())
+		fo.Supervised = verdictOf(rep)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return t.Merge(shards...)
+}

@@ -7,7 +7,9 @@ import (
 	"sort"
 	"strings"
 
+	"faultstudy/internal/faultinject"
 	"faultstudy/internal/faultlint"
+	"faultstudy/internal/parallel"
 	"faultstudy/internal/stats"
 	"faultstudy/internal/taxonomy"
 )
@@ -140,8 +142,79 @@ func resolvePredicted(votes map[taxonomy.FaultClass]int) taxonomy.FaultClass {
 }
 
 // RunLint loads the three application packages under root, runs the envsite
-// analyzer, and scores its predictions against the seeded registry.
+// analyzer, and scores its predictions against the seeded registry. It is
+// the single-worker case of RunLintWorkers.
 func RunLint(root string) (*LintReport, error) {
+	return RunLintWorkers(root, 1)
+}
+
+// scoreLintApp scores one application's envsite predictions against the
+// seeded registry — a pure function of the (read-only) analyzer result and
+// the app's registry slice, so the three applications score in parallel.
+func scoreLintApp(result *faultlint.Result, reg *faultinject.Registry, app taxonomy.Application) LintApp {
+	dir := lintAppDirs[app]
+	la := LintApp{App: app, Dir: dir, Predicted: make(map[string]taxonomy.FaultClass)}
+
+	// Gather per-mechanism class votes from the diagnostics raised in
+	// this application's directory.
+	votes := make(map[string]map[taxonomy.FaultClass]int)
+	for _, d := range result.Diagnostics {
+		if d.Rule != "envsite" || !strings.Contains(filepath.ToSlash(d.File), dir+"/") {
+			continue
+		}
+		if len(d.Mechanisms) == 0 {
+			la.Unattributed++
+			continue
+		}
+		la.Sites++
+		for _, mech := range d.Mechanisms {
+			if votes[mech] == nil {
+				votes[mech] = make(map[taxonomy.FaultClass]int)
+			}
+			votes[mech][d.Class]++
+		}
+	}
+	for mech, v := range votes {
+		la.Predicted[mech] = resolvePredicted(v)
+	}
+
+	// Score against ground truth. Predictions for unknown mechanisms
+	// (none expected) are ignored; mechanisms never attributed are
+	// false negatives for their truth class.
+	truth := make(map[string]taxonomy.FaultClass)
+	for _, m := range reg.ByApp(app) {
+		truth[m.Key] = m.Trigger.DefaultClass()
+	}
+	for _, class := range taxonomy.Classes() {
+		score := ClassScore{Class: class}
+		for mech, tc := range truth {
+			pc, predicted := la.Predicted[mech]
+			switch {
+			case tc == class && predicted && pc == class:
+				score.TP++
+			case tc == class && (!predicted || pc != class):
+				score.FN++
+			case tc != class && predicted && pc == class:
+				score.FP++
+			}
+		}
+		la.Scores = append(la.Scores, score)
+	}
+	for mech := range truth {
+		if _, ok := la.Predicted[mech]; !ok {
+			la.Missing = append(la.Missing, mech)
+		}
+	}
+	sort.Strings(la.Missing)
+	return la
+}
+
+// RunLintWorkers is RunLint with per-application scoring sharded over a
+// worker pool (workers ≤ 0 means one per processor). Scoring is pure
+// computation over the shared, read-only analyzer result, and the per-app
+// reports are reduced in application order, so the report is identical at
+// every worker count.
+func RunLintWorkers(root string, workers int) (*LintReport, error) {
 	reg := Registry()
 	report := &LintReport{Root: root}
 
@@ -160,62 +233,11 @@ func RunLint(root string) (*LintReport, error) {
 	}
 	report.Result = result
 
-	for _, app := range apps {
-		dir := lintAppDirs[app]
-		la := LintApp{App: app, Dir: dir, Predicted: make(map[string]taxonomy.FaultClass)}
-
-		// Gather per-mechanism class votes from the diagnostics raised in
-		// this application's directory.
-		votes := make(map[string]map[taxonomy.FaultClass]int)
-		for _, d := range result.Diagnostics {
-			if d.Rule != "envsite" || !strings.Contains(filepath.ToSlash(d.File), dir+"/") {
-				continue
-			}
-			if len(d.Mechanisms) == 0 {
-				la.Unattributed++
-				continue
-			}
-			la.Sites++
-			for _, mech := range d.Mechanisms {
-				if votes[mech] == nil {
-					votes[mech] = make(map[taxonomy.FaultClass]int)
-				}
-				votes[mech][d.Class]++
-			}
-		}
-		for mech, v := range votes {
-			la.Predicted[mech] = resolvePredicted(v)
-		}
-
-		// Score against ground truth. Predictions for unknown mechanisms
-		// (none expected) are ignored; mechanisms never attributed are
-		// false negatives for their truth class.
-		truth := make(map[string]taxonomy.FaultClass)
-		for _, m := range reg.ByApp(app) {
-			truth[m.Key] = m.Trigger.DefaultClass()
-		}
-		for _, class := range taxonomy.Classes() {
-			score := ClassScore{Class: class}
-			for mech, tc := range truth {
-				pc, predicted := la.Predicted[mech]
-				switch {
-				case tc == class && predicted && pc == class:
-					score.TP++
-				case tc == class && (!predicted || pc != class):
-					score.FN++
-				case tc != class && predicted && pc == class:
-					score.FP++
-				}
-			}
-			la.Scores = append(la.Scores, score)
-		}
-		for mech := range truth {
-			if _, ok := la.Predicted[mech]; !ok {
-				la.Missing = append(la.Missing, mech)
-			}
-		}
-		sort.Strings(la.Missing)
-		report.Apps = append(report.Apps, la)
+	report.Apps, err = parallel.MapOrdered(workers, len(apps), func(i int) (LintApp, error) {
+		return scoreLintApp(result, reg, apps[i]), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Aggregate totals and the EI-share headline.

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"faultstudy/internal/corpus"
 	"faultstudy/internal/recovery"
 	"faultstudy/internal/stats"
 	"faultstudy/internal/taxonomy"
@@ -102,31 +101,10 @@ func (m *Matrix) String() string {
 
 // RunMatrix executes every corpus fault's scenario under every strategy.
 // Each (fault, strategy) run gets its own freshly seeded environment and
-// application instance, so runs are independent and deterministic.
+// application instance, so runs are independent and deterministic. It is the
+// single-worker case of RunMatrixWorkers.
 func RunMatrix(policy recovery.Policy, seed int64) (*Matrix, error) {
-	mgr := recovery.NewManager(policy)
-	m := &Matrix{Strategies: recovery.Strategies()}
-	for _, f := range corpus.All() {
-		fo := FaultOutcome{
-			FaultID:   f.ID,
-			Mechanism: f.Mechanism,
-			Class:     f.Class,
-			Survived:  make(map[recovery.Strategy]bool, len(m.Strategies)),
-		}
-		for i, strat := range m.Strategies {
-			app, sc, err := BuildScenario(f.Mechanism, seed+int64(i))
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s: %w", f.ID, err)
-			}
-			out, err := mgr.Run(app, sc, strat)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s under %s: %w", f.ID, strat, err)
-			}
-			fo.Survived[strat] = out.Survived
-		}
-		m.PerFault = append(m.PerFault, fo)
-	}
-	return m, nil
+	return RunMatrixWorkers(policy, seed, 1)
 }
 
 // Lee93 holds the §7 reconciliation with Lee & Iyer's Tandem GUARDIAN study.

@@ -10,6 +10,8 @@ import (
 	"faultstudy/internal/apps/httpd"
 	"faultstudy/internal/apps/sqldb"
 	"faultstudy/internal/faultinject"
+	"faultstudy/internal/parallel"
+	"faultstudy/internal/recovery"
 	"faultstudy/internal/simenv"
 	"faultstudy/internal/stats"
 	"faultstudy/internal/supervise"
@@ -98,30 +100,10 @@ func wrapScenarioOps(mechanism string, ops []faultinject.Op) []supervise.Op {
 // AddSupervised runs every corpus fault's scenario under a supervisor and
 // records each verdict in the matrix, adding the paper-extension column that
 // compares supervision against the bare one-shot strategies. Each fault gets
-// a fresh environment and application, like the strategy runs.
+// a fresh environment and application, like the strategy runs. It is the
+// single-worker, no-telemetry case of AddSupervisedWorkers.
 func (m *Matrix) AddSupervised(seed int64, cfg supervise.Config) error {
-	for i := range m.PerFault {
-		fo := &m.PerFault[i]
-		app, sc, err := BuildScenario(fo.Mechanism, seed)
-		if err != nil {
-			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
-		}
-		// Start before staging, like the bare-strategy runs: the staged
-		// environmental condition hits a running application.
-		if err := app.Start(); err != nil {
-			return fmt.Errorf("experiment: supervised %s: start: %w", fo.FaultID, err)
-		}
-		if sc.Stage != nil {
-			sc.Stage()
-		}
-		sup := supervise.New(app, cfg)
-		rep, err := sup.Run(wrapScenarioOps(fo.Mechanism, sc.Ops))
-		if err != nil {
-			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
-		}
-		fo.Supervised = verdictOf(rep)
-	}
-	return nil
+	return m.AddSupervisedWorkers(seed, cfg, nil, 1)
 }
 
 // HasSupervised reports whether the supervisor column has been filled in.
@@ -172,6 +154,10 @@ type SoakConfig struct {
 	// application's run — the observability layer's soak wiring. Nil costs
 	// nothing.
 	Telemetry *Telemetry
+	// Workers bounds the worker pool the three applications are sharded
+	// over (0 or negative means one worker per processor; 1 is serial).
+	// Results and telemetry are byte-identical at every worker count.
+	Workers int
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -257,137 +243,144 @@ func interleave(base []supervise.Op, triggers [][]supervise.Op, min int, rng *ra
 	return out
 }
 
+// soakApps is the fixed shard order of the soak: one shard per application,
+// in the presentation (and historical serial-execution) order.
+var soakApps = []taxonomy.Application{taxonomy.AppApache, taxonomy.AppMySQL, taxonomy.AppGnome}
+
+// soakInstance is what a per-app soak builder hands back to the generic
+// driver: the started application, its environment, the mechanism→scenario
+// catalogue, the base workload ops, and where trigger streams may be
+// interleaved from (the database keeps its schema-creating statements
+// first).
+type soakInstance struct {
+	app       recovery.Application
+	env       *simenv.Env
+	scenarios map[string]faultinject.Scenario
+	base      []supervise.Op
+	minAt     int
+}
+
+// buildSoakInstance constructs one application's soak instance: environment,
+// application with the chosen mechanisms seeded, and the base workload
+// stream (observed by cfg's telemetry hook, if any).
+func buildSoakInstance(cfg SoakConfig, app taxonomy.Application, mechs []string) (*soakInstance, error) {
+	inst := &soakInstance{}
+	switch app {
+	case taxonomy.AppApache:
+		inst.env = simenv.New(cfg.Seed, simenv.WithFDLimit(256), simenv.WithProcLimit(192))
+		srv := httpd.New(inst.env, faultinject.NewSet(mechs...), httpd.Config{})
+		inst.app = srv
+		inst.scenarios = httpd.Scenarios(srv)
+		for _, req := range workloadHTTP(cfg) {
+			req := req
+			name := req.Method + " " + req.Path
+			inst.base = append(inst.base, supervise.Op{Name: name, Kind: opKindFor("httpd/", name), Do: func() error {
+				_, err := srv.Serve(req)
+				return err
+			}})
+		}
+	case taxonomy.AppMySQL:
+		inst.env = simenv.New(cfg.Seed, simenv.WithFDLimit(256))
+		db := sqldb.New(inst.env, faultinject.NewSet(mechs...))
+		inst.app = db
+		inst.scenarios = sqldb.Scenarios(db)
+		for _, stmt := range workloadSQL(cfg) {
+			stmt := stmt
+			inst.base = append(inst.base, supervise.Op{Name: stmt, Kind: opKindFor("sqldb/", stmt), Do: func() error {
+				_, err := db.Exec(stmt)
+				return err
+			}})
+		}
+		// Keep the schema-creating statements first.
+		inst.minAt = 2
+	case taxonomy.AppGnome:
+		inst.env = simenv.New(cfg.Seed, simenv.WithFDLimit(256))
+		d := desktop.New(inst.env, faultinject.NewSet(mechs...))
+		inst.app = d
+		inst.scenarios = desktop.Scenarios(d)
+		for _, ev := range workloadDesktop(cfg) {
+			ev := ev
+			name := ev.Widget + " " + ev.Action
+			inst.base = append(inst.base, supervise.Op{Name: name, Kind: opKindFor("desktop/", name), Do: func() error {
+				return d.Dispatch(ev)
+			}})
+		}
+	default:
+		return nil, fmt.Errorf("experiment: soak: unknown application %v", app)
+	}
+	return inst, nil
+}
+
+// runSoakApp drives one application's soak shard end to end: start, stage
+// the chosen mechanisms, interleave their trigger ops into the base
+// workload, and supervise the whole stream. Everything it does is a pure
+// function of (cfg, app, rng state, mechs); it shares no state with other
+// shards.
+func runSoakApp(cfg SoakConfig, app taxonomy.Application, rng *rand.Rand, mechs []string) (*supervise.Report, error) {
+	inst, err := buildSoakInstance(cfg, app, mechs)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.app.Start(); err != nil {
+		return nil, fmt.Errorf("experiment: soak start: %w", err)
+	}
+	var triggers [][]supervise.Op
+	for _, mech := range mechs {
+		sc, ok := inst.scenarios[mech]
+		if !ok {
+			continue
+		}
+		if sc.Stage != nil {
+			sc.Stage()
+		}
+		triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
+	}
+	supCfg, obs := cfg.Telemetry.superviseConfig(cfg.Supervise, soakContext(app))
+	sup := supervise.New(inst.app, supCfg)
+	rep, err := sup.Run(interleave(inst.base, triggers, inst.minAt, rng))
+	obs.Flush(inst.env.Monotonic())
+	return rep, err
+}
+
 // RunSoak drives all three applications under sustained workload with a
 // random subset of their seeded bugs active — the supervision layer's
 // integration exercise. Each application gets a fresh environment, the
 // chosen mechanisms' environmental preconditions are staged, their trigger
 // ops are interleaved into the base workload at random positions, and the
 // supervisor keeps the service running as they fire. Deterministic in Seed.
+//
+// The three applications are independent shards run on a pool of
+// cfg.Workers workers (0 means one per processor): each shard draws its
+// randomness from a source seeded only by (Seed, app) and records into a
+// private telemetry, and the shards are reduced in fixed application order —
+// so reports, traces, and metric dumps are byte-identical at every worker
+// count.
 func RunSoak(cfg SoakConfig) ([]SoakResult, error) {
 	cfg = cfg.withDefaults()
-	var results []SoakResult
-
-	runApp := func(app taxonomy.Application, f func(rng *rand.Rand, mechs []string) (*supervise.Report, error)) error {
+	results := make([]SoakResult, len(soakApps))
+	shardTels := make([]*Telemetry, len(soakApps))
+	err := parallel.ForEach(cfg.Workers, len(soakApps), func(i int) error {
+		app := soakApps[i]
+		shardCfg := cfg
+		if cfg.Telemetry != nil {
+			shardTels[i] = NewTelemetry()
+			shardCfg.Telemetry = shardTels[i]
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(app)))
 		mechs := pickMechanisms(app, cfg.Faults, rng)
-		rep, err := f(rng, mechs)
+		rep, err := runSoakApp(shardCfg, app, rng, mechs)
 		if err != nil {
 			return err
 		}
-		results = append(results, SoakResult{App: app, Mechanisms: mechs, Report: rep})
+		results[i] = SoakResult{App: app, Mechanisms: mechs, Report: rep}
 		return nil
-	}
-
-	// Apache httpd.
-	if err := runApp(taxonomy.AppApache, func(rng *rand.Rand, mechs []string) (*supervise.Report, error) {
-		env := simenv.New(cfg.Seed, simenv.WithFDLimit(256), simenv.WithProcLimit(192))
-		srv := httpd.New(env, faultinject.NewSet(mechs...), httpd.Config{})
-		if err := srv.Start(); err != nil {
-			return nil, fmt.Errorf("experiment: soak start: %w", err)
-		}
-		scenarios := httpd.Scenarios(srv)
-		var triggers [][]supervise.Op
-		for _, mech := range mechs {
-			sc, ok := scenarios[mech]
-			if !ok {
-				continue
-			}
-			if sc.Stage != nil {
-				sc.Stage()
-			}
-			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
-		}
-		base := make([]supervise.Op, 0, cfg.Ops)
-		for _, req := range workloadHTTP(cfg) {
-			req := req
-			name := req.Method + " " + req.Path
-			base = append(base, supervise.Op{Name: name, Kind: opKindFor("httpd/", name), Do: func() error {
-				_, err := srv.Serve(req)
-				return err
-			}})
-		}
-		supCfg, obs := cfg.Telemetry.superviseConfig(cfg.Supervise, soakContext(taxonomy.AppApache))
-		sup := supervise.New(srv, supCfg)
-		rep, err := sup.Run(interleave(base, triggers, 0, rng))
-		obs.Flush(env.Monotonic())
-		return rep, err
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-
-	// MySQL-like database.
-	if err := runApp(taxonomy.AppMySQL, func(rng *rand.Rand, mechs []string) (*supervise.Report, error) {
-		env := simenv.New(cfg.Seed, simenv.WithFDLimit(256))
-		db := sqldb.New(env, faultinject.NewSet(mechs...))
-		if err := db.Start(); err != nil {
-			return nil, fmt.Errorf("experiment: soak start: %w", err)
-		}
-		scenarios := sqldb.Scenarios(db)
-		var triggers [][]supervise.Op
-		for _, mech := range mechs {
-			sc, ok := scenarios[mech]
-			if !ok {
-				continue
-			}
-			if sc.Stage != nil {
-				sc.Stage()
-			}
-			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
-		}
-		base := make([]supervise.Op, 0, cfg.Ops)
-		for _, stmt := range workloadSQL(cfg) {
-			stmt := stmt
-			base = append(base, supervise.Op{Name: stmt, Kind: opKindFor("sqldb/", stmt), Do: func() error {
-				_, err := db.Exec(stmt)
-				return err
-			}})
-		}
-		// Keep the schema-creating statements first.
-		supCfg, obs := cfg.Telemetry.superviseConfig(cfg.Supervise, soakContext(taxonomy.AppMySQL))
-		sup := supervise.New(db, supCfg)
-		rep, err := sup.Run(interleave(base, triggers, 2, rng))
-		obs.Flush(env.Monotonic())
-		return rep, err
-	}); err != nil {
+	if err := cfg.Telemetry.Merge(shardTels...); err != nil {
 		return nil, err
 	}
-
-	// GNOME-like desktop.
-	if err := runApp(taxonomy.AppGnome, func(rng *rand.Rand, mechs []string) (*supervise.Report, error) {
-		env := simenv.New(cfg.Seed, simenv.WithFDLimit(256))
-		d := desktop.New(env, faultinject.NewSet(mechs...))
-		if err := d.Start(); err != nil {
-			return nil, fmt.Errorf("experiment: soak start: %w", err)
-		}
-		scenarios := desktop.Scenarios(d)
-		var triggers [][]supervise.Op
-		for _, mech := range mechs {
-			sc, ok := scenarios[mech]
-			if !ok {
-				continue
-			}
-			if sc.Stage != nil {
-				sc.Stage()
-			}
-			triggers = append(triggers, wrapScenarioOps(mech, sc.Ops))
-		}
-		base := make([]supervise.Op, 0, cfg.Ops)
-		for _, ev := range workloadDesktop(cfg) {
-			ev := ev
-			name := ev.Widget + " " + ev.Action
-			base = append(base, supervise.Op{Name: name, Kind: opKindFor("desktop/", name), Do: func() error {
-				return d.Dispatch(ev)
-			}})
-		}
-		supCfg, obs := cfg.Telemetry.superviseConfig(cfg.Supervise, soakContext(taxonomy.AppGnome))
-		sup := supervise.New(d, supCfg)
-		rep, err := sup.Run(interleave(base, triggers, 0, rng))
-		obs.Flush(env.Monotonic())
-		return rep, err
-	}); err != nil {
-		return nil, err
-	}
-
 	return results, nil
 }
 

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"fmt"
 	"io"
 
 	"faultstudy/internal/obsv"
@@ -103,41 +102,35 @@ func (t *Telemetry) superviseConfig(cfg supervise.Config, ctx obsv.Context) (sup
 	return cfg, obs
 }
 
+// Merge folds per-shard telemetries into t in argument order — the parallel
+// engine's reduction step. Counters and histograms merge additively, gauges
+// take the last shard's value, and episodes are renumbered to continue t's
+// sequence, so merging shards in shard order reproduces exactly what a
+// serial run sharing one telemetry would have recorded. Nil receiver and nil
+// shards are no-ops.
+func (t *Telemetry) Merge(shards ...*Telemetry) error {
+	if t == nil {
+		return nil
+	}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if err := t.Registry.Merge(s.Registry); err != nil {
+			return err
+		}
+		t.Recorder.Append(s.Recorder.Episodes()...)
+	}
+	return nil
+}
+
 // AddSupervisedObserved is AddSupervised with telemetry: every fault's
 // supervised run is observed under its corpus identity (application, fault
 // ID, oracle class), so the recorded episodes carry the labels the per-class
-// summary keys on. A nil telemetry makes it identical to AddSupervised.
+// summary keys on. A nil telemetry makes it identical to AddSupervised. It
+// is the single-worker case of AddSupervisedWorkers.
 func (m *Matrix) AddSupervisedObserved(seed int64, cfg supervise.Config, t *Telemetry) error {
-	if t == nil {
-		return m.AddSupervised(seed, cfg)
-	}
-	for i := range m.PerFault {
-		fo := &m.PerFault[i]
-		app, sc, err := BuildScenario(fo.Mechanism, seed)
-		if err != nil {
-			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
-		}
-		if err := app.Start(); err != nil {
-			return fmt.Errorf("experiment: supervised %s: start: %w", fo.FaultID, err)
-		}
-		if sc.Stage != nil {
-			sc.Stage()
-		}
-		mech, _ := Registry().Lookup(fo.Mechanism)
-		runCfg, obs := t.superviseConfig(cfg, obsv.Context{
-			App:     mech.App.String(),
-			FaultID: fo.FaultID,
-			Class:   fo.Class.Short(),
-		})
-		sup := supervise.New(app, runCfg)
-		rep, err := sup.Run(wrapScenarioOps(fo.Mechanism, sc.Ops))
-		if err != nil {
-			return fmt.Errorf("experiment: supervised %s: %w", fo.FaultID, err)
-		}
-		obs.Flush(app.Env().Monotonic())
-		fo.Supervised = verdictOf(rep)
-	}
-	return nil
+	return m.AddSupervisedWorkers(seed, cfg, t, 1)
 }
 
 // soakContext is the observer identity for one soak application: class labels

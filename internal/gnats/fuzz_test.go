@@ -1,0 +1,42 @@
+package gnats
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePR drives the GNATS parser with arbitrary input. The invariants:
+// Parse never panics, never returns (nil, nil), and a successful parse yields
+// a PR whose sections survive a reparse of nothing worse than the original —
+// the parser is tolerant of unknown sections, so any accepted input must
+// produce a structurally sane PR (synopsis and friends are plain strings, the
+// audit trail carries no empty comments).
+func FuzzParsePR(f *testing.F) {
+	f.Add(samplePR)
+	f.Add(">Number: 1\n>Synopsis: x\n")
+	f.Add(">Number:\n")
+	f.Add(">Number: 999999999999999999999999\n")
+	f.Add(">Synopsis: no number section\n")
+	f.Add("")
+	f.Add(">Number: 2\n>Audit-Trail:\nState-Changed-From-To: open-closed\nState-Changed-Why:\n\n\nComment-Added-By: a\nx\n")
+	f.Add(">Number: 3\n>Arrival-Date: not a date\n>Unformatted:\n\x00\xff\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		pr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			if pr != nil {
+				t.Fatalf("Parse returned both a PR and an error: %v", err)
+			}
+			return
+		}
+		if pr == nil {
+			t.Fatal("Parse returned (nil, nil)")
+		}
+		for i, c := range pr.AuditTrail {
+			if strings.TrimSpace(c) == "" {
+				t.Fatalf("audit trail comment %d is blank", i)
+			}
+		}
+		// The symptom inference must accept any text a parsed PR can hold.
+		_ = InferSymptom(pr.Description + " " + pr.Synopsis)
+	})
+}

@@ -1,0 +1,46 @@
+package mbox
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMbox drives the mbox parser and the threading pass with arbitrary
+// input. The invariants: Parse never panics and never returns nil messages;
+// every accepted archive threads without panicking, the threads partition the
+// messages (no message lost or duplicated by threading), and subject
+// normalization is idempotent on every subject seen.
+func FuzzParseMbox(f *testing.F) {
+	f.Add(sampleMbox)
+	f.Add("From a@b Fri Oct  1 10:00:00 1999\nSubject: x\n\nbody\n")
+	f.Add("From a@b\n\n>From quoted\n")
+	f.Add("From a@b\nMessage-Id: <m1>\nIn-Reply-To: <m0>\nReferences: <r1> <r2>\n\nx\n")
+	f.Add("junk before any From line\n")
+	f.Add("")
+	f.Add("From a@b\nSubject: Re: re: RE[2]: fwd: x\nDate: Fri, 01 Oct 1999 10:00:00 +0000\n\n\x00\xff\n")
+	f.Add("From a@b\nBad Header Line\n\nbody\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		msgs, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, m := range msgs {
+			if m == nil {
+				t.Fatalf("message %d is nil", i)
+			}
+			once := NormalizeSubject(m.Subject)
+			if twice := NormalizeSubject(once); twice != once {
+				t.Fatalf("NormalizeSubject not idempotent: %q -> %q -> %q", m.Subject, once, twice)
+			}
+		}
+		threads := ThreadMessages(msgs)
+		total := 0
+		for _, th := range threads {
+			total += len(th.Messages)
+		}
+		if total != len(msgs) {
+			t.Fatalf("threading lost messages: %d in threads, %d parsed", total, len(msgs))
+		}
+		_ = FilterThreads(threads, DefaultKeywords())
+	})
+}

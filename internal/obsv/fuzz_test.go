@@ -1,0 +1,59 @@
+package obsv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzTraceSeed is a two-episode trace in the exact shape WriteJSONL emits.
+const fuzzTraceSeed = `{"episode":1,"app":"apache","fault_id":"httpd/dns-error","class":"EDN","mechanism":"httpd/dns-error","op":"serve","start_us":1000,"end_us":5000,"outcome":"recovered","retries":2,"final_rung":"retry","spans":[{"kind":"failure","start_us":1000,"end_us":1000,"note":"dns: lookup failed"},{"kind":"retry","attempt":1,"start_us":1200,"end_us":1400,"outcome":"fail"},{"kind":"retry","attempt":2,"start_us":2000,"end_us":2200,"outcome":"ok"}]}
+{"episode":2,"app":"mysql","start_us":0,"end_us":0,"outcome":"lost","retries":0}
+`
+
+// FuzzReadEpisodeTrace drives the JSONL trace reader with arbitrary bytes.
+// The invariants: ReadJSONL never panics, every accepted episode passes
+// Validate (the reader's own schema gate), and an accepted trace round-trips —
+// WriteJSONL of the parsed episodes re-reads to the identical serialization,
+// the byte-stability property the artifact pipeline depends on.
+func FuzzReadEpisodeTrace(f *testing.F) {
+	f.Add([]byte(fuzzTraceSeed))
+	f.Add([]byte(`{"episode":1,"start_us":0,"end_us":0,"outcome":"recovered","retries":0}`))
+	f.Add([]byte(`{"episode":0,"outcome":"recovered"}`))
+	f.Add([]byte(`{"episode":1,"outcome":"no-such-outcome"}`))
+	f.Add([]byte(`{"episode":1,"outcome":"lost","start_us":5,"end_us":1}`))
+	f.Add([]byte(`{"episode":1,"outcome":"lost","unknown_field":true}`))
+	f.Add([]byte(`{"episode":1,"outcome":"shed","spans":[{"kind":"","start_us":0,"end_us":0}]}`))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xff, 0x7b})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		episodes, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, e := range episodes {
+			if e == nil {
+				t.Fatalf("episode %d is nil", i)
+			}
+			if verr := e.Validate(); verr != nil {
+				t.Fatalf("accepted episode %d fails Validate: %v", i, verr)
+			}
+		}
+		var first bytes.Buffer
+		if err := WriteJSONL(&first, episodes); err != nil {
+			t.Fatalf("WriteJSONL of accepted episodes: %v", err)
+		}
+		again, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written trace: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteJSONL(&second, again); err != nil {
+			t.Fatalf("second WriteJSONL: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip not byte-stable:\n--- first\n%s--- second\n%s", first.String(), second.String())
+		}
+	})
+}

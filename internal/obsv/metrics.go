@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -129,9 +130,17 @@ type Histogram struct {
 }
 
 // newHistogram builds a histogram over the given (sorted, deduplicated)
-// upper bounds.
+// upper bounds. NaN bounds are dropped — they compare false against every
+// observation and would leave permanently-dead buckets; a histogram with no
+// finite bounds degenerates to a single +Inf bucket, which is still a valid
+// count+sum series.
 func newHistogram(buckets []float64) *Histogram {
-	bs := append([]float64(nil), buckets...)
+	bs := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if !math.IsNaN(b) {
+			bs = append(bs, b)
+		}
+	}
 	sort.Float64s(bs)
 	dedup := bs[:0]
 	for i, b := range bs {
@@ -142,8 +151,14 @@ func newHistogram(buckets []float64) *Histogram {
 	return &Histogram{buckets: dedup, counts: make([]uint64, len(dedup)+1)}
 }
 
-// Observe records one observation.
+// Observe records one observation. NaN observations are dropped: a NaN
+// would fail every bucket comparison, land in +Inf, and poison the sum —
+// turning one bad instrumentation site into a corrupt export — so the guard
+// lives here, once, instead of at every call site.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.sum += v

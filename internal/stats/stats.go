@@ -59,12 +59,20 @@ func (p Proportion) Wilson() (lo, hi float64) {
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the sample by linear
 // interpolation between order statistics (the R-7/Excel definition). The
 // input slice is not modified and need not be sorted. An empty sample
-// returns 0; q outside [0,1] is clamped.
+// returns 0; q outside [0,1] is clamped; a NaN q returns 0 rather than
+// propagating into an index computation. NaN samples are ignored — a single
+// corrupt measurement must not poison a whole summary row — and a sample of
+// only NaNs behaves like an empty sample.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 || math.IsNaN(q) {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if q <= 0 {
 		return sorted[0]

@@ -142,3 +142,40 @@ func TestQuantile(t *testing.T) {
 		t.Errorf("single-sample quantile = %v, want 7", got)
 	}
 }
+
+// TestQuantileEdgeCases pins the degenerate-input contract the parallel
+// engine's merged summaries rely on: empty and all-NaN samples return 0, NaN
+// samples are ignored rather than poisoning the interpolation, and a NaN q
+// returns 0 instead of corrupting an index computation.
+func TestQuantileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty slice", []float64{}, 0.5, 0},
+		{"nil slice", nil, 0, 0},
+		{"all NaN", []float64{nan, nan}, 0.5, 0},
+		{"NaN ignored low", []float64{nan, 1, 3}, 0, 1},
+		{"NaN ignored high", []float64{3, nan, 1}, 1, 3},
+		{"NaN ignored median", []float64{nan, 1, 3, nan}, 0.5, 2},
+		{"single after NaN filter", []float64{nan, 5}, 0.75, 5},
+		{"NaN q", []float64{1, 2, 3}, nan, 0},
+		{"NaN q empty", nil, nan, 0},
+		{"negative infinity sample", []float64{math.Inf(-1), 0}, 0, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.xs, c.q); got != c.want && !(math.IsInf(c.want, -1) && math.IsInf(got, -1)) {
+			t.Errorf("%s: Quantile(%v, %v) = %v, want %v", c.name, c.xs, c.q, got, c.want)
+		}
+	}
+	// A NaN result must never escape: sweep q over a NaN-laced sample.
+	xs := []float64{nan, 2, nan, 8, 5}
+	for q := -0.5; q <= 1.5; q += 0.125 {
+		if got := Quantile(xs, q); math.IsNaN(got) {
+			t.Errorf("Quantile(%v, %v) = NaN", xs, q)
+		}
+	}
+}
