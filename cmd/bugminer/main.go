@@ -7,18 +7,32 @@
 //
 //	bugminer -source apache -url http://tracker.example   # mine a live site
 //	bugminer -source mysql -simulate                      # self-serve and mine
+//	bugminer -source apache -simulate -chaos 7            # ... under injected faults
+//	bugminer -simulate -chaos 7 -resilience naive         # ... with the bare client
+//
+// -chaos activates the chaoshttp fault catalogue (seed-deterministic EDT and
+// EDN faults) between the miner and the source: as server middleware when
+// simulating, as a transport wrapper when mining a live URL. -resilience
+// selects the client recovery policy the crawl runs under. Pages lost after
+// the client exhausts recovery become gaps: the mine completes on the
+// partial corpus and prints the gap report instead of dying mid-crawl.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"time"
 
 	"faultstudy"
+	"faultstudy/internal/chaoshttp"
+	"faultstudy/internal/core"
+	"faultstudy/internal/resilient"
+	"faultstudy/internal/scrape"
 )
 
 func main() {
@@ -28,12 +42,22 @@ func main() {
 	}
 }
 
+// wallClock drives a live-site chaos injector: stamps are real elapsed time
+// and injected latency is really slept.
+type wallClock struct{ start time.Time }
+
+func (c wallClock) Now() time.Duration { return time.Since(c.start) } //faultlint:ignore wallclock live-site chaos stamps real elapsed time
+
+func (c wallClock) Advance(d time.Duration) { time.Sleep(d) } //faultlint:ignore wallclock live-site chaos latency is really slept; simulated runs use the middleware instead
+
 func run() error {
 	var (
-		source   = flag.String("source", "apache", "source kind: apache | gnome | mysql")
-		url      = flag.String("url", "", "base URL of the source")
-		simulate = flag.Bool("simulate", false, "serve a simulated source and mine it")
-		seed     = flag.Int64("seed", 1999, "simulated-site seed (with -simulate)")
+		source     = flag.String("source", "apache", "source kind: apache | gnome | mysql")
+		url        = flag.String("url", "", "base URL of the source")
+		simulate   = flag.Bool("simulate", false, "serve a simulated source and mine it")
+		seed       = flag.Int64("seed", 1999, "simulated-site seed (with -simulate)")
+		chaosSeed  = flag.Int64("chaos", 0, "inject the chaos fault catalogue with this seed (0 = off)")
+		resilience = flag.String("resilience", "full", "client recovery policy: naive | retry | full")
 	)
 	flag.Parse()
 
@@ -41,8 +65,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	policy, err := resilient.PolicyByName(*resilience)
+	if err != nil {
+		return err
+	}
+	chaosCfg := chaoshttp.Config{Seed: *chaosSeed, Faults: chaoshttp.Catalog()}
 
 	base := *url
+	var mw *chaoshttp.Middleware
 	if *simulate {
 		var handler http.Handler
 		switch app {
@@ -52,6 +82,10 @@ func run() error {
 			handler = faultstudy.NewGnomeTrackerSite(faultstudy.SiteConfig{Seed: *seed})
 		default:
 			handler = faultstudy.NewMySQLArchiveSite(faultstudy.SiteConfig{Seed: *seed})
+		}
+		if *chaosSeed != 0 {
+			mw = chaoshttp.NewMiddleware(chaosCfg, nil, handler)
+			handler = mw
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -67,17 +101,31 @@ func run() error {
 		return fmt.Errorf("need -url or -simulate")
 	}
 
+	// The resilient client fronts every fetch; chaos on a live URL wraps the
+	// transport instead of the (unowned) server.
+	transport := http.RoundTripper(http.DefaultTransport)
+	var injector *chaoshttp.Injector
+	if *chaosSeed != 0 && !*simulate {
+		injector = chaoshttp.NewInjector(chaosCfg, transport, wallClock{start: time.Now()}) //faultlint:ignore wallclock live-site chaos epoch
+		transport = injector
+	}
+	client := resilient.New(policy,
+		resilient.WithTransport(transport),
+		resilient.WithClock(resilient.NewRealClock()),
+		resilient.WithRand(rand.New(rand.NewSource(*seed))))
+	miner := &core.Miner{Options: []scrape.CrawlerOption{scrape.WithClient(client.HTTPClient())}}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
 	var raw []*faultstudy.Report
 	switch app {
 	case faultstudy.AppApache:
-		raw, err = faultstudy.MineApache(ctx, base)
+		raw, err = miner.MineApache(ctx, base)
 	case faultstudy.AppGnome:
-		raw, err = faultstudy.MineGnome(ctx, base)
+		raw, err = miner.MineGnome(ctx, base)
 	default:
-		raw, err = faultstudy.MineMySQL(ctx, base)
+		raw, err = miner.MineMySQL(ctx, base)
 	}
 	if err != nil {
 		return err
@@ -91,7 +139,39 @@ func run() error {
 	}
 	fmt.Println()
 	fmt.Print(res.Table())
+	printChaos(mw, injector)
+	printRecovery(client.Stats(), miner.Gaps)
 	return nil
+}
+
+// printChaos summarizes what the chaos layer injected, whichever shape it
+// took.
+func printChaos(mw *chaoshttp.Middleware, injector *chaoshttp.Injector) {
+	var injections []chaoshttp.Injection
+	switch {
+	case mw != nil:
+		injections = mw.Injections()
+	case injector != nil:
+		injections = injector.Injections()
+	default:
+		return
+	}
+	fmt.Printf("\nchaos: %d faults injected\n", len(injections))
+}
+
+// printRecovery reports the client's recovery spend and the gap report — the
+// degraded-mode exit text that replaces dying mid-crawl.
+func printRecovery(st resilient.Stats, gaps []scrape.Gap) {
+	if st.Retries+st.Hedges+st.FastFails+st.BudgetDenied+st.Truncations > 0 {
+		fmt.Printf("client recovery: %d retries, %d hedges, %d fast-fails, %d budget-denied, %d truncations\n",
+			st.Retries, st.Hedges, st.FastFails, st.BudgetDenied, st.Truncations)
+	}
+	if len(gaps) == 0 {
+		fmt.Println("no gaps: every reachable page was fetched")
+		return
+	}
+	fmt.Printf("crawl degraded: %d pages lost after exhausting recovery\n", len(gaps))
+	fmt.Print(scrape.RenderGapList(gaps))
 }
 
 func parseSource(s string) (faultstudy.Application, error) {

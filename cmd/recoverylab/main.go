@@ -16,6 +16,11 @@
 //	recoverylab -lint                           # faultlint static classification vs seeded truth
 //	recoverylab -supervised -workers 8          # shard the sweep over 8 workers
 //	recoverylab -benchpar BENCH_parallel.json   # measure the engine's speedup
+//	recoverylab -resil                          # chaos faults × client policies over the miner
+//
+// -resil exits non-zero unless the sweep's headline holds: under the full
+// client policy, transient (EDT) chaos survival is at least 90% and
+// nontransient (EDN) survival at most 10% — the CI chaos gate.
 //
 // The telemetry flags (-metrics, -trace, -prom, -timeline) attach the
 // observability layer (internal/obsv) to whichever experiment runs; see
@@ -71,6 +76,8 @@ func run() error {
 		checkTrace = flag.String("checktrace", "", "validate a JSONL episode trace file and exit")
 		workers    = flag.Int("workers", 0, "worker pool size for the sharded sweeps (0 = one per processor)")
 		benchPar   = flag.String("benchpar", "", "measure the parallel engine's speedup and write the JSON artifact to this file")
+		resil      = flag.Bool("resil", false, "run the RESIL chaos sweep: injected HTTP faults x client policies")
+		maxPages   = flag.Int("maxpages", 0, "per-arm crawl page cap (with -resil; 0 = default)")
 	)
 	flag.Parse()
 
@@ -99,7 +106,20 @@ func run() error {
 		}
 	}
 
+	// gate holds a verdict that should fail the process only after the
+	// requested telemetry has been written (the -resil CI check).
+	var gate error
+
 	switch {
+	case *resil:
+		rep, err := experiment.RunResil(experiment.ResilConfig{
+			Seed: *seed, MaxPages: *maxPages, Telemetry: tel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		gate = rep.Check()
 	case *mechanism != "":
 		if err := runOne(*mechanism, policy, *seed, tel); err != nil {
 			return err
@@ -193,7 +213,10 @@ func run() error {
 		}
 	}
 
-	return emitTelemetry(tel, *metrics, *timeline, *traceOut, *promOut)
+	if err := emitTelemetry(tel, *metrics, *timeline, *traceOut, *promOut); err != nil {
+		return err
+	}
+	return gate
 }
 
 // emitTelemetry renders whatever telemetry outputs were requested after the

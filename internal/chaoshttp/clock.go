@@ -1,0 +1,65 @@
+package chaoshttp
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock is the injector's view of time: latency faults advance it instead of
+// sleeping, so chaos runs are as fast as the hardware allows and byte-
+// reproducible. It is the minimal subset of the resilient client's clock;
+// *VirtualClock satisfies both.
+type Clock interface {
+	// Now returns a monotonic reading.
+	Now() time.Duration
+	// Advance moves time forward by d.
+	Advance(d time.Duration)
+}
+
+// VirtualClock is a shared, concurrency-safe virtual monotonic clock. The
+// chaos injector advances it to model latency, the resilient client reads
+// and sleeps on it for deadlines and backoff, and the crawler paces on it —
+// one timeline, no wall-clock reads, so MTTR measurements and retry
+// schedules are deterministic functions of the seed.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtualClock returns a clock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the current virtual reading.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative advances are ignored).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Sleep advances the clock by d immediately, honoring an already-expired
+// context. It satisfies the resilient client's Clock and the crawler's
+// Sleeper without ever touching the wall clock.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Advance(d)
+	return nil
+}
+
+// WithTimeout returns ctx unchanged: virtual per-try deadlines are enforced
+// after the fact by comparing clock readings, not by real timers.
+func (c *VirtualClock) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return ctx, func() {}
+}

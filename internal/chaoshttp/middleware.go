@@ -1,0 +1,126 @@
+package chaoshttp
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"time"
+)
+
+// Middleware is the server-side shape of the chaos layer: it wraps a served
+// bugsite and perturbs responses under the same seed-deterministic fault
+// plan an Injector would apply client-side. bugminer -chaos uses it to serve
+// a genuinely misbehaving simulated tracker over a real socket.
+//
+// Kind mapping on the server side: status faults write the synthetic status
+// (with Retry-After); connection-level faults (reset, DNS, exhaustion) abort
+// the connection mid-response, which the client observes as a transport
+// error; latency faults sleep real, context-bounded time — the client's
+// deadline, not the middleware, decides how long that is tolerated;
+// truncation writes half the body under a full Content-Length.
+type Middleware struct {
+	in   *Injector
+	next http.Handler
+}
+
+// zeroClock stamps middleware injection-log entries when the caller supplies
+// no clock; the real latency faults sleep wall time regardless.
+type zeroClock struct{}
+
+// Now always reads zero: log entries from a clockless middleware carry no
+// meaningful time.
+func (zeroClock) Now() time.Duration { return 0 }
+
+// Advance does nothing; the middleware's latency faults sleep wall time.
+func (zeroClock) Advance(time.Duration) {}
+
+// NewMiddleware wraps next with the fault plan in cfg. The clock only stamps
+// the injection log; pass nil to use a zero clock.
+func NewMiddleware(cfg Config, clock Clock, next http.Handler) *Middleware {
+	if clock == nil {
+		clock = zeroClock{}
+	}
+	return &Middleware{in: NewInjector(cfg, noopTransport{}, clock), next: next}
+}
+
+// noopTransport satisfies NewInjector's non-nil contract; the middleware
+// never forwards through it.
+type noopTransport struct{}
+
+// RoundTrip always refuses: the middleware serves via its wrapped handler,
+// never through a transport.
+func (noopTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return nil, http.ErrNotSupported
+}
+
+// Injections returns the injection log, in firing order.
+func (m *Middleware) Injections() []Injection { return m.in.Injections() }
+
+// Outcomes returns the per-URL chaos outcomes.
+func (m *Middleware) Outcomes() []URLOutcome { return m.in.Outcomes() }
+
+// ServeHTTP applies the fault plan to one request, delegating untargeted
+// traffic to the wrapped handler unchanged.
+func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.in.mu.Lock()
+	m.in.requests++
+	f, injected := m.in.pick(r.URL.Path, m.in.clock.Now())
+	m.in.mu.Unlock()
+
+	if !injected {
+		m.next.ServeHTTP(w, r)
+		m.in.markClean(r.URL.Path, m.in.clock.Now())
+		return
+	}
+
+	switch f.Kind {
+	case KindStatusOnce, KindStatusAlways:
+		if f.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(f.RetryAfter/time.Second)))
+		}
+		http.Error(w, "chaos: injected "+f.Name, f.Status)
+	case KindConnResetOnce, KindDNSOnce, KindHostExhaust:
+		// Aborting the handler drops the connection; the client observes a
+		// transport-level error, the closest real-socket analogue to the
+		// injected reset/DNS/exhaustion errors.
+		panic(http.ErrAbortHandler)
+	case KindLatencyOnce, KindSlowAlways:
+		if !sleepCtx(r.Context(), f.Latency) {
+			panic(http.ErrAbortHandler) // client gave up first
+		}
+		m.next.ServeHTTP(w, r)
+	case KindTruncateOnce:
+		rec := httptest.NewRecorder()
+		m.next.ServeHTTP(rec, r)
+		full := rec.Body.Bytes()
+		for k, vs := range rec.Header() {
+			w.Header()[k] = vs
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(full)))
+		w.WriteHeader(rec.Code)
+		w.Write(full[:len(full)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		// Abort so the connection closes short of the declared length
+		// instead of the server quietly repairing the framing.
+		panic(http.ErrAbortHandler)
+	default:
+		http.Error(w, "chaos: unknown fault kind", http.StatusInternalServerError)
+	}
+}
+
+// sleepCtx sleeps real time d, returning false if ctx expired first. The
+// middleware injects latency into a live server, so wall time is the point;
+// the virtual-clock path (Injector) is what experiments use.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d) //faultlint:ignore wallclock chaos middleware injects real latency into a live HTTP server; the client deadline bounds it
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

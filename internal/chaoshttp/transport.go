@@ -1,0 +1,39 @@
+package chaoshttp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+)
+
+// HandlerTransport is an http.RoundTripper that serves every request from an
+// in-process http.Handler — no listener, no ports, no real network. It is
+// how the RESIL experiment crawls a generated bugsite thousands of times per
+// second while staying byte-deterministic: the only nondeterminism a real
+// socket would add (timing, ephemeral ports, kernel buffers) never enters.
+//
+// Responses gain an explicit Content-Length when the handler did not set
+// one, matching what net/http's real server does for small bodies; the
+// truncation fault and its client-side detection both rely on the header
+// being present.
+type HandlerTransport struct {
+	// Handler serves the requests.
+	Handler http.Handler
+}
+
+// RoundTrip serves req from the wrapped handler.
+func (t HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	rec := httptest.NewRecorder()
+	t.Handler.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	if resp.Header.Get("Content-Length") == "" {
+		n := rec.Body.Len()
+		resp.Header.Set("Content-Length", strconv.Itoa(n))
+		resp.ContentLength = int64(n)
+	}
+	return resp, nil
+}

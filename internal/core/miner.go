@@ -21,13 +21,56 @@ import (
 	"faultstudy/internal/taxonomy"
 )
 
+// Miner runs the three per-application mining pipelines. The zero value
+// mines with a default crawler; Options threads extra crawler options (a
+// chaos-wrapped HTTP client, a virtual pacing clock, a Retry-After policy)
+// into every crawl, and Gaps accumulates the URLs each crawl lost after the
+// client exhausted recovery. A Miner that returns reports with a non-empty
+// Gaps has degraded gracefully: the corpus is partial and says so, instead
+// of the whole mine dying on one bad page.
+type Miner struct {
+	// Options is appended to each pipeline's baseline crawler options.
+	Options []scrape.CrawlerOption
+	// Gaps collects the gap entries of every crawl this miner ran.
+	Gaps []scrape.Gap
+}
+
+// newCrawler builds a crawler from the pipeline's baseline options plus the
+// miner's injected ones (injected options win, being applied last).
+func (m *Miner) newCrawler(base ...scrape.CrawlerOption) *scrape.Crawler {
+	return scrape.NewCrawler(append(base, m.Options...)...)
+}
+
+// record accumulates the crawl's gaps onto the miner and draws the line
+// between degraded and dead: a crawl that fetched *something* proceeds on
+// the partial corpus, but a crawl that fetched nothing and lost pages (the
+// root itself was unreachable) is a total failure and surfaces as an error.
+func (m *Miner) record(what string, pages []*scrape.Page) error {
+	m.Gaps = append(m.Gaps, scrape.GapsOf(pages)...)
+	cov := scrape.CoverageOf(pages)
+	if cov.Fetched == 0 && cov.Gaps > 0 {
+		gaps := scrape.GapsOf(pages)
+		return fmt.Errorf("core: %s unreachable: fetched 0/%d pages (first gap: %s: %s)",
+			what, cov.Attempted, gaps[0].URL, gaps[0].Reason)
+	}
+	return nil
+}
+
 // MineApache crawls a GNATS-style tracker rooted at baseURL (the /bugdb/
 // index) and returns the parsed problem reports.
 func MineApache(ctx context.Context, baseURL string) ([]*report.Report, error) {
-	crawler := scrape.NewCrawler(scrape.WithPathFilter("/bugdb/"))
+	return (&Miner{}).MineApache(ctx, baseURL)
+}
+
+// MineApache is the Apache pipeline under this miner's crawler options.
+func (m *Miner) MineApache(ctx context.Context, baseURL string) ([]*report.Report, error) {
+	crawler := m.newCrawler(scrape.WithPathFilter("/bugdb/"))
 	pages, err := crawler.Crawl(ctx, baseURL+"/bugdb/")
 	if err != nil {
 		return nil, fmt.Errorf("core: crawl apache tracker: %w", err)
+	}
+	if err := m.record("apache tracker", pages); err != nil {
+		return nil, err
 	}
 	var reports []*report.Report
 	for _, page := range pages {
@@ -57,10 +100,18 @@ func MineApache(ctx context.Context, baseURL string) ([]*report.Report, error) {
 // index plus /cvs/log) and returns the parsed reports with fix information
 // joined from the CVS log.
 func MineGnome(ctx context.Context, baseURL string) ([]*report.Report, error) {
-	crawler := scrape.NewCrawler()
+	return (&Miner{}).MineGnome(ctx, baseURL)
+}
+
+// MineGnome is the GNOME pipeline under this miner's crawler options.
+func (m *Miner) MineGnome(ctx context.Context, baseURL string) ([]*report.Report, error) {
+	crawler := m.newCrawler()
 	pages, err := crawler.Crawl(ctx, baseURL+"/bugs/")
 	if err != nil {
 		return nil, fmt.Errorf("core: crawl gnome tracker: %w", err)
+	}
+	if err := m.record("gnome tracker", pages); err != nil {
+		return nil, err
 	}
 	var (
 		bugs    []*debbugs.Bug
@@ -106,10 +157,18 @@ func MineGnome(ctx context.Context, baseURL string) ([]*report.Report, error) {
 // index of monthly mbox files), applies the study's keyword search, threads
 // the messages, and returns one report per matching thread.
 func MineMySQL(ctx context.Context, baseURL string) ([]*report.Report, error) {
-	crawler := scrape.NewCrawler(scrape.WithPathFilter("/archive/"))
+	return (&Miner{}).MineMySQL(ctx, baseURL)
+}
+
+// MineMySQL is the MySQL pipeline under this miner's crawler options.
+func (m *Miner) MineMySQL(ctx context.Context, baseURL string) ([]*report.Report, error) {
+	crawler := m.newCrawler(scrape.WithPathFilter("/archive/"))
 	pages, err := crawler.Crawl(ctx, baseURL+"/archive/")
 	if err != nil {
 		return nil, fmt.Errorf("core: crawl mysql archive: %w", err)
+	}
+	if err := m.record("mysql archive", pages); err != nil {
+		return nil, err
 	}
 	var msgs []*mbox.Message
 	for _, page := range pages {

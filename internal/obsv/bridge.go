@@ -45,6 +45,25 @@ const (
 	// MetricWorkloadOps counts generated workload items by stream and
 	// category.
 	MetricWorkloadOps = "faultstudy_workload_ops_total"
+	// MetricResilURLs counts chaos-targeted URLs in the RESIL sweep by final
+	// verdict (recovered or lost).
+	MetricResilURLs = "faultstudy_resil_urls_total"
+	// MetricResilPages counts crawled pages in the RESIL sweep by result
+	// (fetched, non2xx, gap).
+	MetricResilPages = "faultstudy_resil_pages_total"
+	// MetricResilRetries counts resilient-client retries spent in the sweep.
+	MetricResilRetries = "faultstudy_resil_retries_total"
+	// MetricResilHedges counts hedged re-attempts after slow failures.
+	MetricResilHedges = "faultstudy_resil_hedges_total"
+	// MetricResilFastFails counts requests declined by an open host breaker.
+	MetricResilFastFails = "faultstudy_resil_fast_fails_total"
+	// MetricResilBudgetDenied counts retries refused by a drained budget.
+	MetricResilBudgetDenied = "faultstudy_resil_budget_denied_total"
+	// MetricResilTruncations counts Content-Length truncation detections.
+	MetricResilTruncations = "faultstudy_resil_truncations_total"
+	// MetricResilMTTRSeconds is the per-URL time-to-repair histogram
+	// (LatencyBuckets): first injected failure to first clean fetch.
+	MetricResilMTTRSeconds = "faultstudy_resil_mttr_seconds"
 )
 
 // registerHelp attaches the exporter help strings for every bridge metric.
@@ -64,7 +83,21 @@ func registerHelp(reg *Registry) {
 	reg.Help(MetricEpisodeSeconds, "Episode duration from dispatch to verdict, virtual seconds.")
 	reg.Help(MetricRetriesPerRecovery, "Recovery retries spent per served episode.")
 	reg.Help(MetricWorkloadOps, "Workload items generated, by stream and category.")
+	reg.Help(MetricResilURLs, "Chaos-targeted URLs, by policy, fault, class and verdict.")
+	reg.Help(MetricResilPages, "RESIL crawl pages, by policy, fault and result.")
+	reg.Help(MetricResilRetries, "Resilient-client retries spent, by policy and class.")
+	reg.Help(MetricResilHedges, "Hedged re-attempts after slow failures, by policy and class.")
+	reg.Help(MetricResilFastFails, "Requests declined by an open host breaker, by policy and class.")
+	reg.Help(MetricResilBudgetDenied, "Retries refused by a drained retry budget, by policy and class.")
+	reg.Help(MetricResilTruncations, "Content-Length truncation detections, by policy and class.")
+	reg.Help(MetricResilMTTRSeconds, "Per-URL repair time: first injected failure to first clean fetch.")
 }
+
+// RegisterBridgeHelp attaches the exporter help strings for the bridge
+// metric catalogue — the hook for instrumentation paths that write into a
+// registry directly rather than through an Observer (the RESIL sweep).
+// Nil-safe.
+func RegisterBridgeHelp(reg *Registry) { registerHelp(reg) }
 
 // Observer adapts the supervisor's trace-event stream into recorder episodes
 // and registry metrics. One Observer instruments one supervised run; build it

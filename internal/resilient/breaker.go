@@ -1,0 +1,156 @@
+package resilient
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState is the lifecycle state of one host's circuit breaker. The
+// state machine is the supervision layer's per-mechanism breaker
+// (internal/supervise) extracted to the HTTP client: closed admits traffic,
+// open fails it fast, half-open admits one trial request after the cooldown
+// and lets its outcome decide.
+type BreakerState int
+
+const (
+	// BreakerClosed admits requests normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails requests fast without touching the network.
+	BreakerOpen
+	// BreakerHalfOpen admits one trial request after the cooldown.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// hostBreaker is one host's breaker record.
+type hostBreaker struct {
+	state       BreakerState
+	consecutive int
+	openedAt    time.Duration
+}
+
+// Breaker is a per-host circuit breaker set, safe for concurrent use by any
+// number of clients — sharing one Breaker across clients is the intended
+// deployment, so every client stops hammering a host any one of them has
+// found down. The paper's rationale carries over from the supervisor: a
+// host that fails every attempt is exhibiting a nontransient condition, and
+// spending retries on it recovers nothing.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	hosts     map[string]*hostBreaker
+}
+
+// NewBreaker builds a breaker set that opens a host after threshold
+// consecutive failures and admits a half-open trial after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, hosts: make(map[string]*hostBreaker)}
+}
+
+// get returns (creating if needed) the host's record. Callers hold the lock.
+func (b *Breaker) get(host string) *hostBreaker {
+	hb, ok := b.hosts[host]
+	if !ok {
+		hb = &hostBreaker{}
+		b.hosts[host] = hb
+	}
+	return hb
+}
+
+// Allow reports whether a request to host may proceed. An open breaker whose
+// cooldown has passed transitions to half-open and admits one trial.
+func (b *Breaker) Allow(host string, now time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.get(host)
+	if hb.state == BreakerOpen {
+		if now-hb.openedAt >= b.cooldown {
+			hb.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// Failure records one failed request to host and reports whether the
+// breaker newly opened. A failed half-open trial re-opens immediately.
+func (b *Breaker) Failure(host string, now time.Duration) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.get(host)
+	hb.consecutive++
+	if hb.state == BreakerHalfOpen || hb.consecutive >= b.threshold {
+		wasOpen := hb.state == BreakerOpen
+		hb.state = BreakerOpen
+		hb.openedAt = now
+		return !wasOpen
+	}
+	return false
+}
+
+// Success records a served request: the host is healthy, so the breaker
+// closes and the failure streak resets.
+func (b *Breaker) Success(host string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hb := b.get(host)
+	hb.state = BreakerClosed
+	hb.consecutive = 0
+}
+
+// State returns host's current breaker state.
+func (b *Breaker) State(host string) BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if hb, ok := b.hosts[host]; ok {
+		return hb.state
+	}
+	return BreakerClosed
+}
+
+// Hosts returns the tracked hosts, sorted, for reports and tests.
+func (b *Breaker) Hosts() []string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.hosts))
+	for h := range b.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -2,24 +2,63 @@ package scrape
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 )
 
-// Page is one fetched page.
+// MaxBodyBytes caps how much of one response body a fetch will read. Bodies
+// exceeding the cap fail the fetch with ErrBodyTooLarge instead of being
+// silently truncated into a parseable-looking prefix.
+const MaxBodyBytes = 8 << 20
+
+// ErrBodyTooLarge reports a response body exceeding MaxBodyBytes.
+var ErrBodyTooLarge = errors.New("scrape: response body exceeds size cap")
+
+// maxRetryAfterWaits bounds how many Retry-After waits one fetch honors
+// before returning the throttled response as-is.
+const maxRetryAfterWaits = 2
+
+// Page is one fetched page, or a recorded failure to fetch one.
 type Page struct {
 	// URL is the final URL of the page.
 	URL string
 	// Body is the raw response body.
 	Body string
-	// Status is the HTTP status code.
+	// Status is the HTTP status code; 0 when the fetch failed outright.
 	Status int
+	// Err is the fetch failure, when one occurred. Pages with a non-nil Err
+	// are gaps: recorded, skipped, and never followed.
+	Err error
+}
+
+// Sleeper paces the crawl: politeness delays and Retry-After waits flow
+// through it, so experiments can inject a virtual clock and crawl at
+// hardware speed. The resilient layer's Clock satisfies it.
+type Sleeper interface {
+	// Sleep pauses for d, returning early with the context's error if it
+	// expires first.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realSleeper is the default Sleeper: real time, context-bounded.
+type realSleeper struct{}
+
+// Sleep pauses for d or until ctx expires.
+func (realSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d): //faultlint:ignore wallclock politeness/Retry-After pacing against a real HTTP server; ctx bounds it
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // CrawlerOption configures a Crawler.
@@ -39,12 +78,28 @@ func WithPathFilter(prefix string) CrawlerOption {
 // WithClient sets the HTTP client (the default has a 10s timeout).
 func WithClient(client *http.Client) CrawlerOption { return func(c *Crawler) { c.client = client } }
 
-// Crawler is a polite, same-host, breadth-first crawler.
+// WithSleeper injects the pacing clock (politeness delays and Retry-After
+// waits). The default sleeps real, context-bounded time.
+func WithSleeper(s Sleeper) CrawlerOption { return func(c *Crawler) { c.sleeper = s } }
+
+// WithRetryAfterCap bounds how long one honored Retry-After wait may be.
+// The default is 2s; 0 disables Retry-After honoring entirely (the naive
+// baseline the RESIL experiment measures against).
+func WithRetryAfterCap(d time.Duration) CrawlerOption {
+	return func(c *Crawler) { c.retryAfterCap = d }
+}
+
+// Crawler is a polite, same-host, breadth-first crawler. A fetch that fails
+// outright costs only its own page: the failure is recorded as a gap
+// (Page.Err) and the crawl continues, so one bad page never loses the
+// corpus mined from the rest.
 type Crawler struct {
-	client     *http.Client
-	maxPages   int
-	delay      time.Duration
-	pathPrefix string
+	client        *http.Client
+	maxPages      int
+	delay         time.Duration
+	pathPrefix    string
+	sleeper       Sleeper
+	retryAfterCap time.Duration
 
 	mu      sync.Mutex
 	visited map[string]bool
@@ -53,9 +108,11 @@ type Crawler struct {
 // NewCrawler builds a crawler with the given options.
 func NewCrawler(opts ...CrawlerOption) *Crawler {
 	c := &Crawler{
-		client:   &http.Client{Timeout: 10 * time.Second},
-		maxPages: 10000,
-		visited:  make(map[string]bool),
+		client:        &http.Client{Timeout: 10 * time.Second},
+		maxPages:      10000,
+		visited:       make(map[string]bool),
+		sleeper:       realSleeper{},
+		retryAfterCap: 2 * time.Second,
 	}
 	for _, o := range opts {
 		o(c)
@@ -65,7 +122,9 @@ func NewCrawler(opts ...CrawlerOption) *Crawler {
 
 // Crawl fetches start and every same-host page reachable from it, breadth
 // first, honoring the page cap and path filter. Pages are returned in fetch
-// order. Non-2xx responses are recorded but not followed.
+// order. Non-2xx responses are recorded but not followed. Failed fetches
+// are recorded as gap pages (Status 0, Err set) and skipped rather than
+// aborting the crawl; only context cancellation ends a crawl early.
 func (c *Crawler) Crawl(ctx context.Context, start string) ([]*Page, error) {
 	base, err := url.Parse(start)
 	if err != nil {
@@ -86,16 +145,19 @@ func (c *Crawler) Crawl(ctx context.Context, start string) ([]*Page, error) {
 		next := queue[0]
 		queue = queue[1:]
 		if !first && c.delay > 0 {
-			select {
-			case <-time.After(c.delay): //faultlint:ignore wallclock politeness delay against a real HTTP server; ctx bounds it
-			case <-ctx.Done():
-				return pages, ctx.Err()
+			if err := c.sleeper.Sleep(ctx, c.delay); err != nil {
+				return pages, err
 			}
 		}
 		first = false
 		page, err := c.fetch(ctx, next)
 		if err != nil {
-			return pages, fmt.Errorf("scrape: fetch %s: %w", next, err)
+			if ctx.Err() != nil {
+				return pages, ctx.Err()
+			}
+			// A lost page is a gap, not a lost crawl: record and move on.
+			pages = append(pages, &Page{URL: next, Err: fmt.Errorf("scrape: fetch %s: %w", next, err)})
+			continue
 		}
 		pages = append(pages, page)
 		if page.Status < 200 || page.Status >= 300 {
@@ -122,22 +184,56 @@ func (c *Crawler) markVisited(u string) bool {
 	return false
 }
 
+// fetch gets one URL, honoring Retry-After hints on 429/503 responses: the
+// advertised wait (capped at the crawler's Retry-After cap, bounded by ctx)
+// is slept and the fetch retried, at most maxRetryAfterWaits times. The
+// final response — throttled or not — is returned as the page.
 func (c *Crawler) fetch(ctx context.Context, u string) (*Page, error) {
+	for waits := 0; ; waits++ {
+		page, retryAfter, err := c.fetchOnce(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		if retryAfter <= 0 || c.retryAfterCap <= 0 || waits >= maxRetryAfterWaits {
+			return page, nil
+		}
+		if retryAfter > c.retryAfterCap {
+			retryAfter = c.retryAfterCap
+		}
+		if err := c.sleeper.Sleep(ctx, retryAfter); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// fetchOnce performs one GET, returning the page and any Retry-After hint
+// carried on a throttling status. Bodies over MaxBodyBytes fail with
+// ErrBodyTooLarge rather than being silently cut.
+func (c *Crawler) fetchOnce(ctx context.Context, u string) (*Page, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	req.Header.Set("User-Agent", "faultstudy-crawler/1.0")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes+1))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return &Page{URL: u, Body: string(body), Status: resp.StatusCode}, nil
+	if len(body) > MaxBodyBytes {
+		return nil, 0, fmt.Errorf("%w: %s is over %d bytes", ErrBodyTooLarge, u, MaxBodyBytes)
+	}
+	var retryAfter time.Duration
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return &Page{URL: u, Body: string(body), Status: resp.StatusCode}, retryAfter, nil
 }
 
 // eligibleLinks resolves and filters the links on a page: same host as base,

@@ -1,0 +1,211 @@
+package scrape
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordSleeper satisfies Sleeper and records every pause instead of
+// sleeping, so Retry-After tests assert on exact waits in zero time.
+type recordSleeper struct {
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+func (s *recordSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.slept = append(s.slept, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+func (s *recordSleeper) total() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t time.Duration
+	for _, d := range s.slept {
+		t += d
+	}
+	return t
+}
+
+// newFlakySite serves an index linking three pages; /bugs/doomed drops every
+// connection, the others serve normally. The regression target: one
+// unrecoverable page must cost exactly itself, not the crawl.
+func newFlakySite(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<a href="/bugs/1">1</a> <a href="/bugs/doomed">d</a> <a href="/bugs/2">2</a>`)
+	})
+	mux.HandleFunc("/bugs/1", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "bug one") })
+	mux.HandleFunc("/bugs/2", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "bug two") })
+	mux.HandleFunc("/bugs/doomed", func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler) // drop the connection, every time
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestCrawlRecordsGapAndContinues(t *testing.T) {
+	srv := newFlakySite(t)
+	defer srv.Close()
+	c := NewCrawler()
+	pages, err := c.Crawl(context.Background(), srv.URL+"/")
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	byPath := make(map[string]*Page)
+	for _, p := range pages {
+		byPath[strings.TrimPrefix(p.URL, srv.URL)] = p
+	}
+	for _, path := range []string{"/bugs/1", "/bugs/2"} {
+		p, ok := byPath[path]
+		if !ok || p.Err != nil || p.Status != 200 {
+			t.Errorf("healthy page %s not fetched cleanly: %+v", path, p)
+		}
+	}
+	doomed, ok := byPath["/bugs/doomed"]
+	if !ok {
+		t.Fatal("doomed page not recorded at all")
+	}
+	if doomed.Err == nil || doomed.Status != 0 {
+		t.Errorf("doomed page should be a gap (Status 0, Err set), got %+v", doomed)
+	}
+
+	cov := CoverageOf(pages)
+	if cov.Attempted != 4 || cov.Fetched != 3 || cov.Gaps != 1 {
+		t.Errorf("coverage = %+v, want 4 attempted / 3 fetched / 1 gap", cov)
+	}
+	gaps := GapsOf(pages)
+	if len(gaps) != 1 || !strings.HasSuffix(gaps[0].URL, "/bugs/doomed") {
+		t.Errorf("gaps = %+v", gaps)
+	}
+	report := RenderGaps(pages)
+	if !strings.Contains(report, "3/4 pages fetched") || !strings.Contains(report, "/bugs/doomed") {
+		t.Errorf("gap report missing expected lines:\n%s", report)
+	}
+}
+
+func TestRenderGapsClean(t *testing.T) {
+	pages := []*Page{{URL: "http://x/a", Status: 200}, {URL: "http://x/b", Status: 404}}
+	got := RenderGaps(pages)
+	if !strings.Contains(got, "no gaps") || !strings.Contains(got, "1/2 pages fetched") {
+		t.Errorf("clean report wrong:\n%s", got)
+	}
+}
+
+// throttleOnce serves 429 + Retry-After on the first request to each path,
+// then 200.
+type throttleOnce struct {
+	mu         sync.Mutex
+	seen       map[string]int
+	retryAfter string
+}
+
+func (h *throttleOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.seen[r.URL.Path]++
+	first := h.seen[r.URL.Path] == 1
+	h.mu.Unlock()
+	if first {
+		w.Header().Set("Retry-After", h.retryAfter)
+		http.Error(w, "throttled", http.StatusTooManyRequests)
+		return
+	}
+	fmt.Fprint(w, "served")
+}
+
+func TestCrawlHonorsRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(&throttleOnce{seen: make(map[string]int), retryAfter: "1"})
+	defer srv.Close()
+	sl := &recordSleeper{}
+	c := NewCrawler(WithSleeper(sl))
+	pages, err := c.Crawl(context.Background(), srv.URL+"/")
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if len(pages) != 1 || pages[0].Status != 200 {
+		t.Fatalf("throttled page not retried to success: %+v", pages)
+	}
+	if got := sl.total(); got != 1*time.Second {
+		t.Errorf("slept %v honoring Retry-After, want 1s", got)
+	}
+}
+
+func TestCrawlRetryAfterCapped(t *testing.T) {
+	srv := httptest.NewServer(&throttleOnce{seen: make(map[string]int), retryAfter: "3600"})
+	defer srv.Close()
+	sl := &recordSleeper{}
+	c := NewCrawler(WithSleeper(sl), WithRetryAfterCap(500*time.Millisecond))
+	if _, err := c.Crawl(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if got := sl.total(); got != 500*time.Millisecond {
+		t.Errorf("slept %v, want the 500ms cap", got)
+	}
+}
+
+func TestCrawlRetryAfterDisabled(t *testing.T) {
+	srv := httptest.NewServer(&throttleOnce{seen: make(map[string]int), retryAfter: "1"})
+	defer srv.Close()
+	sl := &recordSleeper{}
+	c := NewCrawler(WithSleeper(sl), WithRetryAfterCap(0))
+	pages, err := c.Crawl(context.Background(), srv.URL+"/")
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if len(pages) != 1 || pages[0].Status != http.StatusTooManyRequests {
+		t.Fatalf("naive crawl should record the 429 as-is: %+v", pages)
+	}
+	if got := sl.total(); got != 0 {
+		t.Errorf("naive crawl slept %v, want nothing", got)
+	}
+}
+
+// alwaysThrottled serves 429 + Retry-After forever: the wait budget must
+// bound how long one fetch chases the hint.
+func TestCrawlRetryAfterWaitBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "throttled", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	sl := &recordSleeper{}
+	c := NewCrawler(WithSleeper(sl))
+	pages, err := c.Crawl(context.Background(), srv.URL+"/")
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if len(pages) != 1 || pages[0].Status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted waits should return the throttled page: %+v", pages)
+	}
+	if len(sl.slept) != maxRetryAfterWaits {
+		t.Errorf("honored %d waits, want at most %d", len(sl.slept), maxRetryAfterWaits)
+	}
+}
+
+func TestCrawlBodyTooLarge(t *testing.T) {
+	big := strings.Repeat("x", MaxBodyBytes+1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, big)
+	}))
+	defer srv.Close()
+	c := NewCrawler()
+	pages, err := c.Crawl(context.Background(), srv.URL+"/")
+	if err != nil {
+		t.Fatalf("Crawl: %v", err)
+	}
+	if len(pages) != 1 {
+		t.Fatalf("got %d pages, want 1", len(pages))
+	}
+	if pages[0].Err == nil || !errors.Is(pages[0].Err, ErrBodyTooLarge) {
+		t.Errorf("oversized body should be an ErrBodyTooLarge gap, got %v", pages[0].Err)
+	}
+}

@@ -1,0 +1,85 @@
+package scrape
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gap is one URL a crawl could not fetch: the per-URL residue of graceful
+// degradation. A crawl that hits unrecoverable faults emits a partial
+// corpus plus its gaps, instead of aborting — the miner's version of the
+// supervision layer's degraded mode.
+type Gap struct {
+	// URL is the page that could not be fetched.
+	URL string
+	// Reason is the final error text.
+	Reason string
+}
+
+// GapsOf extracts the gap entries from a crawl's pages, in crawl order.
+func GapsOf(pages []*Page) []Gap {
+	var out []Gap
+	for _, p := range pages {
+		if p.Err != nil {
+			out = append(out, Gap{URL: p.URL, Reason: p.Err.Error()})
+		}
+	}
+	return out
+}
+
+// Coverage summarizes a crawl: pages attempted, fetched cleanly (2xx),
+// non-2xx responses, and gaps.
+type Coverage struct {
+	// Attempted is the number of pages the crawl tried.
+	Attempted int
+	// Fetched counts 2xx pages.
+	Fetched int
+	// NonOK counts non-2xx responses (recorded, not followed).
+	NonOK int
+	// Gaps counts pages lost to fetch failures.
+	Gaps int
+}
+
+// CoverageOf tallies a crawl's coverage.
+func CoverageOf(pages []*Page) Coverage {
+	cov := Coverage{Attempted: len(pages)}
+	for _, p := range pages {
+		switch {
+		case p.Err != nil:
+			cov.Gaps++
+		case p.Status >= 200 && p.Status < 300:
+			cov.Fetched++
+		default:
+			cov.NonOK++
+		}
+	}
+	return cov
+}
+
+// RenderGaps renders the coverage summary and the gap report for a crawl —
+// the text bugminer prints on exit instead of dying mid-crawl.
+func RenderGaps(pages []*Page) string {
+	cov := CoverageOf(pages)
+	var b strings.Builder
+	fmt.Fprintf(&b, "crawl coverage: %d/%d pages fetched (%d non-2xx, %d gaps)\n",
+		cov.Fetched, cov.Attempted, cov.NonOK, cov.Gaps)
+	gaps := GapsOf(pages)
+	if len(gaps) == 0 {
+		b.WriteString("no gaps: every reachable page was fetched\n")
+		return b.String()
+	}
+	b.WriteString("gap report (pages lost after exhausting recovery):\n")
+	b.WriteString(RenderGapList(gaps))
+	return b.String()
+}
+
+// RenderGapList renders the per-gap lines of an already-extracted gap set —
+// the shape callers holding a Miner's accumulated gaps (rather than raw
+// pages) print.
+func RenderGapList(gaps []Gap) string {
+	var b strings.Builder
+	for _, g := range gaps {
+		fmt.Fprintf(&b, "  %-40s %s\n", g.URL, g.Reason)
+	}
+	return b.String()
+}
