@@ -17,10 +17,15 @@
 //	recoverylab -supervised -workers 8          # shard the sweep over 8 workers
 //	recoverylab -benchpar BENCH_parallel.json   # measure the engine's speedup
 //	recoverylab -resil                          # chaos faults × client policies over the miner
+//	recoverylab -mreboot                        # seeded bugs × recovery mechanisms on the component trees
 //
 // -resil exits non-zero unless the sweep's headline holds: under the full
 // client policy, transient (EDT) chaos survival is at least 90% and
 // nontransient (EDN) survival at most 10% — the CI chaos gate.
+//
+// -mreboot exits non-zero unless targeted component microreboots strictly
+// beat process restarts on requests lost for environment-independent faults
+// (and on MTTR wherever both recovered anything) — the CI microreboot gate.
 //
 // The telemetry flags (-metrics, -trace, -prom, -timeline) attach the
 // observability layer (internal/obsv) to whichever experiment runs; see
@@ -78,6 +83,7 @@ func run() error {
 		benchPar   = flag.String("benchpar", "", "measure the parallel engine's speedup and write the JSON artifact to this file")
 		resil      = flag.Bool("resil", false, "run the RESIL chaos sweep: injected HTTP faults x client policies")
 		maxPages   = flag.Int("maxpages", 0, "per-arm crawl page cap (with -resil; 0 = default)")
+		mreboot    = flag.Bool("mreboot", false, "run the MREBOOT sweep: seeded bugs x recovery mechanisms on the component trees")
 	)
 	flag.Parse()
 
@@ -111,6 +117,15 @@ func run() error {
 	var gate error
 
 	switch {
+	case *mreboot:
+		rep, err := experiment.RunMReboot(experiment.MRebootConfig{
+			Seed: *seed, Telemetry: tel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		gate = rep.Check()
 	case *resil:
 		rep, err := experiment.RunResil(experiment.ResilConfig{
 			Seed: *seed, MaxPages: *maxPages, Telemetry: tel, Workers: *workers,

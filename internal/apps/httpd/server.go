@@ -74,6 +74,10 @@ type Request struct {
 	SSL bool
 	// AbortMidway marks that the client pressed stop during the transfer.
 	AbortMidway bool
+	// Session names the client session the request belongs to, when any. The
+	// componentized server (Componentized.Serve) advances the session's
+	// externalized counter on success; the monolithic server ignores it.
+	Session string
 }
 
 // Response is the server's answer.
@@ -96,6 +100,12 @@ type Server struct {
 	logFDs   []simenv.FD
 	leakFDs  []simenv.FD
 	children []simenv.PID
+
+	// Component-tree hooks (see components.go). portBound tracks listening
+	// port ownership so the listener part can release and rebind it without
+	// double-binding; logSuspended makes a down logger serve unlogged.
+	portBound    bool
+	logSuspended bool
 
 	// Logical state (travels through Snapshot/Restore).
 	memBytes   int64
@@ -177,8 +187,10 @@ func (s *Server) Start() error {
 		}
 		return fmt.Errorf("httpd: start: %w", err)
 	}
+	s.portBound = true
 	if err := s.openLogFDs(); err != nil {
 		_ = s.env.Net().ReleasePort(s.cfg.Port)
+		s.portBound = false
 		return err
 	}
 	// Restore-mandated leaked descriptors: a truly generic recovery restores
@@ -187,6 +199,7 @@ func (s *Server) Start() error {
 		fd, err := s.env.FDs().Open(Owner)
 		if err != nil {
 			_ = s.env.Net().ReleasePort(s.cfg.Port)
+			s.portBound = false
 			s.closeAllFDsLocked()
 			return faultinject.FailCause(MechFDExhaustion, taxonomy.SymptomError,
 				"cannot reopen held descriptors", err)
@@ -194,6 +207,7 @@ func (s *Server) Start() error {
 		s.leakFDs = append(s.leakFDs, fd)
 	}
 	s.running = true
+	s.logSuspended = false
 	return nil
 }
 
@@ -210,15 +224,23 @@ func (s *Server) openLogFDs() error {
 	return nil
 }
 
-func (s *Server) closeAllFDsLocked() {
+func (s *Server) closeLogFDsLocked() {
 	for _, fd := range s.logFDs {
 		_ = s.env.FDs().Close(fd)
 	}
+	s.logFDs = nil
+}
+
+func (s *Server) closeLeakFDsLocked() {
 	for _, fd := range s.leakFDs {
 		_ = s.env.FDs().Close(fd)
 	}
-	s.logFDs = nil
 	s.leakFDs = nil
+}
+
+func (s *Server) closeAllFDsLocked() {
+	s.closeLogFDsLocked()
+	s.closeLeakFDsLocked()
 }
 
 // Stop shuts the server down. Seeded bug: with MechPortSquat active, hung
@@ -230,6 +252,7 @@ func (s *Server) Stop() {
 		return
 	}
 	s.running = false
+	s.portBound = false
 	s.closeAllFDsLocked()
 	var kept []simenv.PID
 	for _, pid := range s.children {
@@ -358,7 +381,7 @@ func (s *Server) Serve(req Request) (Response, error) {
 	// fails instead. A full file system fails the write either way, but only
 	// the active mechanism reports it as the application failure under test.
 	// Degraded mode suspends logging entirely — reads outlive a full disk.
-	if !s.degraded {
+	if !s.degraded && !s.logSuspended {
 		if err := s.logRequest(); err != nil {
 			return Response{}, err
 		}

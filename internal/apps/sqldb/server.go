@@ -23,9 +23,12 @@ type Server struct {
 	env    *simenv.Env
 	faults *faultinject.Set
 
-	mu          sync.Mutex
-	running     bool
-	degraded    bool
+	mu       sync.Mutex
+	running  bool
+	degraded bool
+	// portBound tracks listening-port ownership so the componentized
+	// listener part (components.go) can release and rebind it.
+	portBound   bool
 	tables      map[string]*table
 	lockedTable string
 	connections map[int]string // conn id -> client address
@@ -94,6 +97,7 @@ func (s *Server) Start() error {
 	if err := s.env.Net().BindPort(serverPort, Owner); err != nil {
 		return fmt.Errorf("sqldb: start: %w", err)
 	}
+	s.portBound = true
 	names := make([]string, 0, len(s.tables))
 	for name := range s.tables {
 		names = append(names, name)
@@ -131,6 +135,7 @@ func (s *Server) Stop() {
 	}
 	s.running = false
 	_ = s.env.Net().ReleasePort(serverPort)
+	s.portBound = false
 	s.closeTableFDsLocked()
 	s.connections = make(map[int]string)
 	s.lockedTable = ""
@@ -174,6 +179,16 @@ func (s *Server) Disconnect(conn int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.connections, conn)
+}
+
+// Connected reports whether a connection id is still open — the probe the
+// componentized layer uses to re-attach externalized sessions after a
+// listener reboot dropped their connections.
+func (s *Server) Connected(conn int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.connections[conn]
+	return ok
 }
 
 // Connections returns the number of open sessions.

@@ -1,0 +1,154 @@
+package component
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Store is the externalized session-state store of a componentized
+// application: a namespaced key-value map that lives *outside* every
+// component, so killing a component — or restarting the whole process —
+// never destroys a session. It is the crash-only design's load-bearing
+// move: components may crash freely precisely because nothing worth keeping
+// lives inside them.
+//
+// Buckets namespace the state by concern ("httpd/sessions",
+// "sqldb/prepared", ...). All methods are safe for concurrent use; sibling
+// components read and write the store while another component is
+// mid-reboot.
+type Store struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string]string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{buckets: make(map[string]map[string]string)}
+}
+
+// Put sets key in bucket to value.
+func (s *Store) Put(bucket, key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		b = make(map[string]string)
+		s.buckets[bucket] = b
+	}
+	b[key] = value
+}
+
+// Get returns the value of key in bucket and whether it exists.
+func (s *Store) Get(bucket, key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.buckets[bucket][key]
+	return v, ok
+}
+
+// Delete removes key from bucket; absent keys are ignored.
+func (s *Store) Delete(bucket, key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.buckets[bucket], key)
+}
+
+// Incr increments the integer value of key in bucket by one and returns the
+// new value. A missing or non-integer value counts as zero — the session
+// sequence numbers this backs start at one.
+func (s *Store) Incr(bucket, key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		b = make(map[string]string)
+		s.buckets[bucket] = b
+	}
+	n, _ := strconv.ParseInt(b[key], 10, 64)
+	n++
+	b[key] = strconv.FormatInt(n, 10)
+	return n
+}
+
+// Len returns the number of keys in bucket.
+func (s *Store) Len(bucket string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets[bucket])
+}
+
+// Keys returns the keys of bucket in sorted order.
+func (s *Store) Keys(bucket string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.buckets[bucket]))
+	for k := range s.buckets[bucket] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot serializes the whole store deterministically (buckets and keys
+// sorted) — the hook that lets an experiment checkpoint the externalized
+// state alongside application state.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type bucketState struct {
+		Name string      `json:"name"`
+		KV   [][2]string `json:"kv"`
+	}
+	names := make([]string, 0, len(s.buckets))
+	for name := range s.buckets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]bucketState, 0, len(names))
+	for _, name := range names {
+		bs := bucketState{Name: name}
+		keys := make([]string, 0, len(s.buckets[name]))
+		for k := range s.buckets[name] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bs.KV = append(bs.KV, [2]string{k, s.buckets[name][k]})
+		}
+		out = append(out, bs)
+	}
+	return json.Marshal(out)
+}
+
+// Restore replaces the store's contents from a Snapshot.
+func (s *Store) Restore(snapshot []byte) error {
+	type bucketState struct {
+		Name string      `json:"name"`
+		KV   [][2]string `json:"kv"`
+	}
+	var in []bucketState
+	if err := json.Unmarshal(snapshot, &in); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buckets = make(map[string]map[string]string, len(in))
+	for _, bs := range in {
+		b := make(map[string]string, len(bs.KV))
+		for _, kv := range bs.KV {
+			b[kv[0]] = kv[1]
+		}
+		s.buckets[bs.Name] = b
+	}
+	return nil
+}
+
+// Reset empties the store — the one deliberate way to lose sessions (a
+// datacenter-level wipe, not any recovery mechanism's side effect).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buckets = make(map[string]map[string]string)
+}

@@ -213,7 +213,7 @@ func (o *Observer) observe(ev supervise.Event) {
 			outcome = "fail" // the recovery action itself failed
 		}
 		o.rec.Note(ev.At, Span{Kind: SpanAction, Rung: rungName(ev.Rung), Attempt: ev.Attempt,
-			Outcome: outcome, Note: errText(ev.Err)})
+			Outcome: outcome, Component: ev.Component, Note: errText(ev.Err)})
 	case supervise.EventRetryOK:
 		o.reg.Counter(MetricRecoveries,
 			L("app", app, "class", o.class(ev.Mechanism), "rung", rungName(ev.Rung))...).Inc()

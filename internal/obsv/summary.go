@@ -31,6 +31,11 @@ type ClassSummary struct {
 	MTTRMean, MTTRP50, MTTRP95, MTTRMax time.Duration
 	// Rungs is the final-rung distribution over all episodes.
 	Rungs map[string]int
+	// RungAttempts counts recovery actions applied at each ladder rung across
+	// the class's episodes; RungSuccesses counts, per rung, the retries that
+	// then served the failed operation. Together they show where on the
+	// ladder a class's recovery effort goes and where it pays off.
+	RungAttempts, RungSuccesses map[string]int
 }
 
 // served counts episodes that ended with the op served.
@@ -58,13 +63,25 @@ func Summarize(episodes []*Episode) []*ClassSummary {
 	for _, e := range episodes {
 		cs, ok := byClass[e.Class]
 		if !ok {
-			cs = &ClassSummary{Class: e.Class, Rungs: make(map[string]int)}
+			cs = &ClassSummary{Class: e.Class, Rungs: make(map[string]int),
+				RungAttempts: make(map[string]int), RungSuccesses: make(map[string]int)}
 			byClass[e.Class] = cs
 		}
 		cs.Episodes++
 		cs.Retries += e.Retries
 		if e.FinalRung != "" {
 			cs.Rungs[e.FinalRung]++
+		}
+		for _, sp := range e.Spans {
+			if sp.Rung == "" {
+				continue
+			}
+			switch {
+			case sp.Kind == SpanAction:
+				cs.RungAttempts[sp.Rung]++
+			case sp.Kind == SpanRetry && sp.Outcome == "ok":
+				cs.RungSuccesses[sp.Rung]++
+			}
 		}
 		switch e.Outcome {
 		case OutcomeRecovered:
@@ -148,13 +165,44 @@ func renderRungs(rungs map[string]int) string {
 	return strings.Join(parts, " ")
 }
 
+// renderRungRatio renders per-rung attempts/successes compactly in ladder
+// order ("retry=3/1" is 3 attempts, 1 of which served the op), unknown rungs
+// last alphabetically.
+func renderRungRatio(attempts, successes map[string]int) string {
+	if len(attempts) == 0 {
+		return "-"
+	}
+	var parts []string
+	seen := make(map[string]bool)
+	add := func(r string) {
+		parts = append(parts, fmt.Sprintf("%s=%d/%d", r, attempts[r], successes[r]))
+		seen[r] = true
+	}
+	for _, r := range rungOrder {
+		if attempts[r] > 0 {
+			add(r)
+		}
+	}
+	var rest []string
+	for r := range attempts {
+		if !seen[r] {
+			rest = append(rest, r)
+		}
+	}
+	sort.Strings(rest)
+	for _, r := range rest {
+		add(r)
+	}
+	return strings.Join(parts, " ")
+}
+
 // RenderSummary renders the per-class telemetry table: episode counts,
-// served/degraded/lost fractions, MTTR, retries-per-recovery, and the
-// final-rung distribution.
+// served/degraded/lost fractions, MTTR, retries-per-recovery, the per-rung
+// attempt/success counts, and the final-rung distribution.
 func RenderSummary(sums []*ClassSummary) string {
 	tbl := &stats.Table{Header: []string{
 		"class", "episodes", "served", "degraded", "shed", "lost", "fast-fail",
-		"MTTR(mean)", "MTTR(p95)", "retries/recovery", "final rungs",
+		"MTTR(mean)", "MTTR(p95)", "retries/recovery", "rung attempts/ok", "final rungs",
 	}}
 	for _, cs := range sums {
 		frac := func(n int) string {
@@ -171,7 +219,8 @@ func RenderSummary(sums []*ClassSummary) string {
 		}
 		tbl.Add(cs.Class, fmt.Sprint(cs.Episodes),
 			frac(cs.served()), frac(cs.Degraded), frac(cs.Shed), frac(cs.Lost), frac(cs.FastFailed),
-			mttrMean, mttrP95, rpr, renderRungs(cs.Rungs))
+			mttrMean, mttrP95, rpr,
+			renderRungRatio(cs.RungAttempts, cs.RungSuccesses), renderRungs(cs.Rungs))
 	}
 	return "Recovery telemetry by fault class:\n" + tbl.String()
 }

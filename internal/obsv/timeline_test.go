@@ -51,12 +51,19 @@ func TestSummarizeClasses(t *testing.T) {
 	if ei.RetriesPerRecovery != 2 {
 		t.Errorf("RetriesPerRecovery = %v, want 2", ei.RetriesPerRecovery)
 	}
+	if ei.RungAttempts["retry"] != 1 || ei.RungAttempts["microreboot"] != 1 {
+		t.Errorf("RungAttempts = %v, want retry=1 microreboot=1", ei.RungAttempts)
+	}
+	if ei.RungSuccesses["retry"] != 0 || ei.RungSuccesses["microreboot"] != 1 {
+		t.Errorf("RungSuccesses = %v, want microreboot=1 only", ei.RungSuccesses)
+	}
 	edn := sums[1]
 	if edn.FastFailed != 1 || edn.Recovered != 0 {
 		t.Errorf("EDN row = %+v", edn)
 	}
 	out := RenderSummary(sums)
-	for _, want := range []string{"EI", "EDN", "fast-fail", "microreboot=1"} {
+	for _, want := range []string{"EI", "EDN", "fast-fail", "microreboot=1",
+		"rung attempts/ok", "retry=1/0 microreboot=1/1"} {
 		if !bytes.Contains([]byte(out), []byte(want)) {
 			t.Errorf("summary table missing %q:\n%s", want, out)
 		}

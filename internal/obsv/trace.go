@@ -75,6 +75,9 @@ type Span struct {
 	// Outcome qualifies the span ("ok"/"fail" for retries, the decision name
 	// for decision spans).
 	Outcome string `json:"outcome,omitempty"`
+	// Component names the component a real microreboot targeted (action spans
+	// on the microreboot rung only; empty for process-level actions).
+	Component string `json:"component,omitempty"`
 	// Note carries the error text or other human-readable detail.
 	Note string `json:"note,omitempty"`
 }

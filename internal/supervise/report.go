@@ -147,6 +147,9 @@ type Event struct {
 	Attempt int
 	// Delay is the backoff delay (EventBackoff only).
 	Delay time.Duration
+	// Component names the component a real microreboot targeted (EventAction
+	// on the microreboot rung only; empty for process-level actions).
+	Component string
 	// Err is the error involved, when any.
 	Err error
 }

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"faultstudy/internal/component"
 	"faultstudy/internal/faultinject"
 	"faultstudy/internal/recovery"
 )
@@ -346,16 +347,17 @@ func (s *Supervisor) superviseOp(idx int, op Op, preOp []byte, initial error) op
 		s.trace(Event{Kind: EventBackoff, Op: op.Name, Mechanism: mech, Rung: rung, Attempt: attempt, Delay: delay})
 		s.clock.Sleep(delay)
 
-		if err := s.applyRung(rung, preOp, mech, attempt, lastFE); err != nil {
+		target, err := s.applyRung(rung, preOp, mech, attempt, attemptAt, lastFE)
+		if err != nil {
 			// The recovery action itself failed (e.g. restore ran into the
 			// same full disk): escalate immediately.
-			s.trace(Event{Kind: EventAction, Op: op.Name, Mechanism: mech, Rung: rung, Attempt: attempt, Err: err})
+			s.trace(Event{Kind: EventAction, Op: op.Name, Mechanism: mech, Rung: rung, Attempt: attempt, Component: target, Err: err})
 			s.escalateTo(op, mech, rung+1)
 			rung++
 			attemptAt = 0
 			continue
 		}
-		s.trace(Event{Kind: EventAction, Op: op.Name, Mechanism: mech, Rung: rung, Attempt: attempt})
+		s.trace(Event{Kind: EventAction, Op: op.Name, Mechanism: mech, Rung: rung, Attempt: attempt, Component: target})
 		s.report.mech(mech).Retries++
 
 		retryErr := s.execute(op)
@@ -416,8 +418,12 @@ func (s *Supervisor) degradeAndFinish(idx int, op Op, preOp []byte, mech string)
 	return opFailed
 }
 
-// applyRung applies one ladder rung's recovery action.
-func (s *Supervisor) applyRung(rung Rung, preOp []byte, mech string, attempt int, fe *faultinject.FailureError) error {
+// applyRung applies one ladder rung's recovery action. The first return
+// value names the component a real microreboot targeted ("" for
+// process-level actions). attemptAt is the attempt number within the current
+// rung: the microreboot rung reboots the attributed component alone first
+// and widens to its dependent subtree on the rung's later attempts.
+func (s *Supervisor) applyRung(rung Rung, preOp []byte, mech string, attempt, attemptAt int, fe *faultinject.FailureError) (string, error) {
 	env := s.app.Env()
 	if s.cfg.GrowResources && fe != nil {
 		recovery.GrowResources(env, fe)
@@ -434,29 +440,47 @@ func (s *Supervisor) applyRung(rung Rung, preOp []byte, mech string, attempt int
 	case RungRetry:
 		if s.app.Running() {
 			perturb()
-			return nil
+			return "", nil
 		}
 		s.app.Stop()
 		env.ReclaimOwner(s.app.Name())
 		perturb()
-		return s.app.Restore(preOp)
+		return "", s.app.Restore(preOp)
 	case RungMicroreboot:
+		// A real microreboot, when the application is a component tree and
+		// the mechanism attributes to a component: contain the crash to the
+		// tree, then cycle the faulty component — its subtree on later
+		// attempts — while siblings keep serving. No process stop, no
+		// resource reclaim, no state restore: the crash-only contract makes
+		// all three unnecessary.
+		if host, ok := s.app.(component.Host); ok {
+			if target, attributed := host.ComponentFor(mech); attributed {
+				host.ContainCrash()
+				perturb()
+				if attemptAt <= 1 {
+					return target, host.Tree().Reboot(target)
+				}
+				return target, host.Tree().RebootSubtree(target)
+			}
+		}
+		// Monolithic fallback: the coarse component-level reboot that
+		// preserves all logical state.
 		s.app.Stop()
 		env.ReclaimOwner(s.app.Name())
 		perturb()
-		return s.app.Restore(preOp)
+		return "", s.app.Restore(preOp)
 	case RungRestore:
 		s.app.Stop()
 		env.ReclaimOwner(s.app.Name())
 		perturb()
-		return s.app.Restore(s.epoch)
+		return "", s.app.Restore(s.epoch)
 	case RungRestart:
 		s.app.Stop()
 		env.ReclaimOwner(s.app.Name())
 		perturb()
-		return s.app.Reset()
+		return "", s.app.Reset()
 	default:
-		return fmt.Errorf("supervise: no action for rung %s", rung)
+		return "", fmt.Errorf("supervise: no action for rung %s", rung)
 	}
 }
 

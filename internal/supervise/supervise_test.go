@@ -2,6 +2,7 @@ package supervise
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"faultstudy/internal/apps/desktop"
 	"faultstudy/internal/apps/httpd"
 	"faultstudy/internal/apps/sqldb"
+	"faultstudy/internal/component"
 	"faultstudy/internal/faultinject"
 	"faultstudy/internal/simenv"
 	"faultstudy/internal/taxonomy"
@@ -616,5 +618,121 @@ func TestEpisodeDurationStampedAtDecisionTime(t *testing.T) {
 	}
 	if len(rep2.RepairDurations) != 0 {
 		t.Fatalf("RepairDurations = %v, want empty (op was shed, not served)", rep2.RepairDurations)
+	}
+}
+
+// TestMicrorebootTargetsFaultyComponent drives the EDN fd-exhaustion leak
+// against the componentized httpd: in-place retries cannot un-leak
+// descriptors, so the ladder escalates to the microreboot rung, which must
+// reboot only the attributed core component — after which the retry succeeds
+// because the crash-only kill closed every leaked descriptor. Sessions,
+// living in the externalized store, must survive the whole run.
+func TestMicrorebootTargetsFaultyComponent(t *testing.T) {
+	env := simenv.New(7, simenv.WithFDLimit(16), simenv.WithProcLimit(192))
+	c := httpd.Componentize(
+		httpd.New(env, faultinject.NewSet(httpd.MechFDExhaustion), httpd.Config{}),
+		component.NewStore())
+
+	var actions []Event
+	cfg := Config{Seed: 7, Trace: func(ev Event) {
+		if ev.Kind == EventAction {
+			actions = append(actions, ev)
+		}
+	}}
+	sup := New(c, cfg)
+
+	ops := make([]Op, 0, 40)
+	for i := 0; i < 40; i++ {
+		ops = append(ops, Op{Name: fmt.Sprintf("GET-/-%02d", i), Kind: OpRead, Do: func() error {
+			_, err := c.Serve(httpd.Request{Method: "GET", Path: "/", Session: "alice"})
+			return err
+		}})
+	}
+	rep, err := sup.Run(ops)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.OpsFailed != 0 || rep.OpsShed != 0 {
+		t.Fatalf("ops failed=%d shed=%d, want 0/0\n%s", rep.OpsFailed, rep.OpsShed, rep)
+	}
+	if rep.Recovered == 0 {
+		t.Fatal("expected at least one recovered episode")
+	}
+	if rep.Escalations[RungMicroreboot] == 0 {
+		t.Fatalf("escalations = %v, want microreboot reached", rep.Escalations)
+	}
+	for _, r := range []Rung{RungRestore, RungRestart, RungDegraded} {
+		if rep.Escalations[r] != 0 {
+			t.Fatalf("escalated past microreboot (%v): the component reboot must suffice", rep.Escalations)
+		}
+	}
+	var targeted int
+	for _, ev := range actions {
+		if ev.Rung == RungMicroreboot {
+			if ev.Component != httpd.CompCore {
+				t.Fatalf("microreboot action component = %q, want %q", ev.Component, httpd.CompCore)
+			}
+			targeted++
+		} else if ev.Component != "" {
+			t.Fatalf("%s action carries component %q, want empty", ev.Rung, ev.Component)
+		}
+	}
+	if targeted == 0 {
+		t.Fatal("no microreboot action events recorded")
+	}
+	if got := c.Tree().Reboots(httpd.CompCore); got == 0 {
+		t.Fatal("core component was never rebooted")
+	}
+	// Siblings were never cycled: only the attributed component rebooted.
+	for _, name := range []string{httpd.CompLogger, httpd.CompCache, httpd.CompCGI, httpd.CompListener} {
+		if got := c.Tree().Reboots(name); got != 0 {
+			t.Fatalf("sibling %s rebooted %d times, want 0", name, got)
+		}
+	}
+	// The session counter counted every served op: it survived each reboot.
+	if got := c.SessionDepth("alice"); got != int64(rep.OpsOK) {
+		t.Fatalf("session depth = %d, want %d (one per served op)", got, rep.OpsOK)
+	}
+}
+
+// TestMicrorebootWidensToSubtree drives the EI null-deref crash: the first
+// microreboot attempt cycles only the attributed core component, and when
+// the deterministic bug recurs the rung's second attempt must widen to the
+// core's dependent subtree before the ladder escalates past it.
+func TestMicrorebootWidensToSubtree(t *testing.T) {
+	env := simenv.New(9, simenv.WithFDLimit(64), simenv.WithProcLimit(192))
+	c := httpd.Componentize(
+		httpd.New(env, faultinject.NewSet(httpd.MechNullDeref), httpd.Config{}),
+		component.NewStore())
+
+	var microAttempts int
+	cfg := Config{Seed: 9, RungAttempts: 2, Trace: func(ev Event) {
+		if ev.Kind == EventAction && ev.Rung == RungMicroreboot {
+			if ev.Component != httpd.CompCore {
+				t.Errorf("microreboot component = %q, want %q", ev.Component, httpd.CompCore)
+			}
+			microAttempts++
+		}
+	}}
+	sup := New(c, cfg)
+	_, err := sup.Run([]Op{{Name: "GET /bug/null-deref", Kind: OpRead, Do: func() error {
+		_, err := c.Serve(httpd.Request{Method: "GET", Path: "/bug/null-deref"})
+		return err
+	}}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if microAttempts != 2 {
+		t.Fatalf("microreboot attempts = %d, want 2", microAttempts)
+	}
+	// Attempt 1 rebooted core alone; attempt 2 widened to the subtree, which
+	// cycles core's dependents exactly once each.
+	if got := c.Tree().Reboots(httpd.CompCore); got != 2 {
+		t.Fatalf("core reboots = %d, want 2", got)
+	}
+	for _, name := range []string{httpd.CompLogger, httpd.CompCache, httpd.CompCGI, httpd.CompListener} {
+		if got := c.Tree().Reboots(name); got != 1 {
+			t.Fatalf("%s reboots = %d, want 1 (subtree widening only)", name, got)
+		}
 	}
 }
