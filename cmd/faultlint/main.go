@@ -2,8 +2,8 @@
 // packages and gates on the findings: it exits 0 when every gating finding
 // is suppressed or absent, 1 when active non-advisory findings remain, and 2
 // on usage or load errors — the contract the CI job relies on. Advisory
-// findings (envsite's classification of seeded fault sites) are reported
-// but never fail the gate.
+// findings (envsite's classification of seeded fault sites, scope's recovery
+// predictions) are reported but never fail the gate.
 //
 // Usage:
 //
@@ -12,7 +12,14 @@
 //	faultlint ./...                  # whole module
 //	faultlint -json ./internal/...   # machine-readable report
 //	faultlint -rules envcheck,wallclock ./cmd/...
+//	faultlint -scope ./internal/apps/...  # + interprocedural recovery scope
 //	faultlint -list                  # describe the analyzers
+//
+// With -scope the interprocedural recoveryscope analysis runs over the same
+// load: every seeded fault-raise site gains an advisory "scope" finding
+// ({class, owning component, blast radius, minimal rung}), and sites whose
+// mechanisms have no component attribution in a componentized package gain a
+// gating "scopegap" finding. Both honor //faultlint:ignore.
 //
 // Packages are directories or dir/... trees relative to the working
 // directory. Findings are suppressed in source with
@@ -22,67 +29,106 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"faultstudy/internal/faultlint"
+	"faultstudy/internal/recoveryscope"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
 }
 
-func run() int {
+// config is the parsed flag set; separated from flag parsing so tests can
+// drive the full report pipeline.
+type config struct {
+	jsonOut  bool
+	rules    []string
+	list     bool
+	verbose  bool
+	scope    bool
+	patterns []string
+	dir      string // working directory override for tests ("" = cwd)
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("faultlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = flag.Bool("json", false, "emit the JSON report (schema in EXPERIMENTS.md)")
-		rules   = flag.String("rules", "", "comma-separated analyzer subset (default: all)")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		verbose = flag.Bool("v", false, "include suppressed findings in text output")
+		jsonOut = fs.Bool("json", false, "emit the JSON report (schema in EXPERIMENTS.md)")
+		rules   = fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		verbose = fs.Bool("v", false, "include suppressed findings in text output")
+		scope   = fs.Bool("scope", false, "run the interprocedural recovery-scope analysis (advisory scope + gating scopegap findings)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range faultlint.Analyzers() {
-			fmt.Printf("%-12s [%s] %s\n", a.Name, a.Class.Short(), a.Doc)
+			fmt.Fprintf(stdout, "%-12s [%s] %s\n", a.Name, a.Class.Short(), a.Doc)
 		}
+		fmt.Fprintf(stdout, "%-12s [%s] %s\n", "scope", "*",
+			"interprocedural recovery-scope prediction per seeded fault site (advisory; -scope)")
+		fmt.Fprintf(stdout, "%-12s [%s] %s\n", "scopegap", "*",
+			"seeded fault site with no component attribution in a componentized package (-scope)")
 		return 0
 	}
 
-	var ruleList []string
+	cfg := config{jsonOut: *jsonOut, list: *list, verbose: *verbose, scope: *scope, patterns: fs.Args()}
 	if *rules != "" {
 		for _, r := range strings.Split(*rules, ",") {
 			if r = strings.TrimSpace(r); r != "" {
-				ruleList = append(ruleList, r)
+				cfg.rules = append(cfg.rules, r)
 			}
 		}
 	}
+	return report(stdout, stderr, cfg)
+}
 
-	patterns := flag.Args()
-	cwd, err := os.Getwd()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "faultlint:", err)
-		return 2
-	}
-	pkgs, err := faultlint.Load(cwd, patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "faultlint:", err)
-		return 2
-	}
-	result, err := faultlint.Run(pkgs, ruleList)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "faultlint:", err)
-		return 2
-	}
-
-	if *jsonOut {
-		data, err := faultlint.RenderJSON(result)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "faultlint:", err)
+// report loads, analyzes, renders, and gates: the whole pipeline behind flag
+// parsing. Diagnostics from the analyzer suite and (with scope) the
+// interprocedural analysis are merged and re-sorted here, at the CLI layer,
+// so reports diff stably across packages whatever mix of analyses ran.
+func report(stdout, stderr io.Writer, cfg config) int {
+	root := cfg.dir
+	if root == "" {
+		var err error
+		if root, err = os.Getwd(); err != nil {
+			fmt.Fprintln(stderr, "faultlint:", err)
 			return 2
 		}
-		fmt.Println(string(data))
+	}
+	pkgs, err := faultlint.Load(root, cfg.patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "faultlint:", err)
+		return 2
+	}
+	result, err := faultlint.Run(pkgs, cfg.rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "faultlint:", err)
+		return 2
+	}
+	if cfg.scope {
+		extra := recoveryscope.Analyze(pkgs).Diagnostics()
+		faultlint.ApplySuppressions(pkgs, extra)
+		result.Diagnostics = append(result.Diagnostics, extra...)
+		faultlint.SortDiagnostics(result.Diagnostics)
+		result.Rules = append(result.Rules, "scope", "scopegap")
+	}
+
+	if cfg.jsonOut {
+		data, err := faultlint.RenderJSON(result)
+		if err != nil {
+			fmt.Fprintln(stderr, "faultlint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
 	} else {
-		fmt.Print(faultlint.RenderText(result, *verbose))
+		fmt.Fprint(stdout, faultlint.RenderText(result, cfg.verbose))
 	}
 
 	if len(result.Gating()) > 0 {

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"faultstudy/internal/faultlint"
+)
+
+// -update regenerates the golden files from current output.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against the named golden file, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// runFixture drives the full report pipeline over the scopeworld fixture.
+func runFixture(t *testing.T, cfg config) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cfg.dir = filepath.Join("testdata", "scopeworld")
+	code := report(&stdout, &stderr, cfg)
+	return stdout.String(), stderr.String(), code
+}
+
+// The fixture has active gating findings (envcheck in appb, scopegap in
+// appa), so -scope runs exit 1 — the gate, not an error.
+func TestScopeTextGolden(t *testing.T) {
+	out, errOut, code := runFixture(t, config{scope: true, verbose: true})
+	if errOut != "" {
+		t.Fatalf("stderr: %s", errOut)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (active gating findings)", code)
+	}
+	checkGolden(t, "scopeworld.txt", []byte(out))
+}
+
+func TestScopeJSONGolden(t *testing.T) {
+	out, errOut, code := runFixture(t, config{scope: true, jsonOut: true})
+	if errOut != "" {
+		t.Fatalf("stderr: %s", errOut)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (active gating findings)", code)
+	}
+	checkGolden(t, "scopeworld.json", []byte(out))
+}
+
+// The merged -scope report must stay in file/line/col/rule order across
+// packages — the CLI-layer sort the golden diffs depend on.
+func TestMergedDiagnosticsSorted(t *testing.T) {
+	out, _, _ := runFixture(t, config{scope: true})
+	type key struct {
+		file      string
+		line, col int
+		rule      string
+	}
+	var keys []key
+	for _, ln := range strings.Split(out, "\n") {
+		parts := strings.SplitN(ln, ": [", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		pos := strings.Split(parts[0], ":")
+		if len(pos) != 3 {
+			continue
+		}
+		rule := strings.SplitN(parts[1], " ", 2)[0]
+		keys = append(keys, key{file: pos[0], line: atoi(pos[1]), col: atoi(pos[2]), rule: rule})
+	}
+	if len(keys) < 6 {
+		t.Fatalf("parsed %d findings, want at least 6:\n%s", len(keys), out)
+	}
+	sorted := sort.SliceIsSorted(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.rule < b.rule
+	})
+	if !sorted {
+		t.Errorf("findings out of file/line/col/rule order:\n%s", out)
+	}
+	files := make(map[string]bool)
+	for _, k := range keys {
+		files[filepath.Dir(k.file)] = true
+	}
+	if len(files) < 2 {
+		t.Errorf("findings span %d packages, want at least 2 to exercise the cross-package sort", len(files))
+	}
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// The scopegap suppression in appa must hide the finding from the gate
+// count while keeping the other gap active.
+func TestScopegapSuppression(t *testing.T) {
+	out, _, _ := runFixture(t, config{scope: true, verbose: true})
+	if !strings.Contains(out, "appa/orphan") {
+		t.Errorf("active scopegap for appa/orphan missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[scopegap, suppressed]") {
+		t.Errorf("suppressed scopegap for appa/hushed not shown under -v:\n%s", out)
+	}
+}
+
+// Without -scope the same fixture yields no scope/scopegap findings: the
+// flag is strictly additive.
+func TestScopeFlagAdditive(t *testing.T) {
+	out, _, _ := runFixture(t, config{})
+	if strings.Contains(out, "[scope") {
+		t.Errorf("scope findings without -scope:\n%s", out)
+	}
+}
+
+// The -list output includes the scope pseudo-analyzers.
+func TestListIncludesScope(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %s", code, stderr.String())
+	}
+	for _, rule := range append(ruleNames(), "scope", "scopegap") {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-list missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}
+
+func ruleNames() []string {
+	var out []string
+	for _, a := range faultlint.Analyzers() {
+		out = append(out, a.Name)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package appa is a golden-test fixture: a miniature componentized
+// application whose seeded fault sites exercise the scope and scopegap
+// findings of faultlint -scope.
+package appa
+
+import (
+	"sim/component"
+	"sim/faultinject"
+)
+
+const (
+	compCore  = "appa/core"
+	compCache = "appa/cache"
+)
+
+const (
+	mechLeak   = "appa/slow-leak"
+	mechOrphan = "appa/orphan"
+	mechHushed = "appa/hushed"
+)
+
+// componentFor attributes mechanisms to components; mechOrphan and
+// mechHushed are deliberately absent (scopegap cases, one suppressed).
+var componentFor = map[string]string{
+	mechLeak: compCore,
+}
+
+type server struct {
+	running  bool
+	leakBufs int
+	hits     int
+}
+
+// Componentize declares the two-part tree: core <- cache.
+func (s *server) Componentize(add func(component.Spec)) {
+	add(component.Spec{Component: component.NewPart(compCore, component.Hooks{
+		OnKill: func() { s.leakBufs = 0 },
+	})})
+	add(component.Spec{Deps: []string{compCore}, Component: component.NewPart(compCache, component.Hooks{
+		OnKill: func() { s.hits = 0 },
+	})})
+}
+
+// slowLeak: EI crash with kill-released path taint -> microreboot appa/core.
+func (s *server) slowLeak() error {
+	s.leakBufs++
+	if s.leakBufs > 10 {
+		s.running = false
+		return faultinject.Fail(mechLeak, "crash", "leak tipped over")
+	}
+	return nil
+}
+
+// orphan raises a mechanism with no component attribution: a gating
+// scopegap finding.
+func (s *server) orphan() error {
+	if s.hits < 0 {
+		return faultinject.Fail(mechOrphan, "crash", "unattributed")
+	}
+	return nil
+}
+
+// hushed is the same gap with the finding suppressed in source.
+func (s *server) hushed() error {
+	if s.hits > 1<<30 {
+		//faultlint:ignore scopegap legacy mechanism, retired next release
+		return faultinject.Fail(mechHushed, "crash", "suppressed gap")
+	}
+	return nil
+}

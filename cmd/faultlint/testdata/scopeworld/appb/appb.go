@@ -1,0 +1,34 @@
+// Package appb is a golden-test fixture: a plain (non-componentized)
+// package contributing envsite and envcheck findings, so the merged -scope
+// report interleaves rules across packages in file/line/col/rule order.
+package appb
+
+import (
+	"sim/faultinject"
+)
+
+type disk struct{}
+
+func (disk) Append(name string, n int) error { return nil }
+
+type fds struct{}
+
+func (fds) Open(name string) (int, error) { return 0, nil }
+
+type sim struct{}
+
+func (sim) Disk() disk { return disk{} }
+func (sim) FDs() fds   { return fds{} }
+
+// fill raises behind a persistent-condition facility: EDN, rung restart.
+func fill(env sim) error {
+	if err := env.Disk().Append("wal", 4096); err != nil {
+		return faultinject.Fail("appb/disk-full", "error", "disk full")
+	}
+	return nil
+}
+
+// leak discards an acquire error: a gating envcheck finding.
+func leak(env sim) {
+	_, _ = env.FDs().Open("sock")
+}

@@ -18,6 +18,7 @@
 //	recoverylab -benchpar BENCH_parallel.json   # measure the engine's speedup
 //	recoverylab -resil                          # chaos faults × client policies over the miner
 //	recoverylab -mreboot                        # seeded bugs × recovery mechanisms on the component trees
+//	recoverylab -scope                          # static class/rung prediction vs dynamic ground truth
 //
 // -resil exits non-zero unless the sweep's headline holds: under the full
 // client policy, transient (EDT) chaos survival is at least 90% and
@@ -26,6 +27,11 @@
 // -mreboot exits non-zero unless targeted component microreboots strictly
 // beat process restarts on requests lost for environment-independent faults
 // (and on MTTR wherever both recovered anything) — the CI microreboot gate.
+//
+// -scope exits non-zero unless the static analysis recovers the fault class
+// of at least 85% of the seeded mechanisms and under-scopes the recovery
+// rung on at most 5% of the environment-independent ones — the CI scope
+// gate.
 //
 // The telemetry flags (-metrics, -trace, -prom, -timeline) attach the
 // observability layer (internal/obsv) to whichever experiment runs; see
@@ -84,6 +90,7 @@ func run() error {
 		resil      = flag.Bool("resil", false, "run the RESIL chaos sweep: injected HTTP faults x client policies")
 		maxPages   = flag.Int("maxpages", 0, "per-arm crawl page cap (with -resil; 0 = default)")
 		mreboot    = flag.Bool("mreboot", false, "run the MREBOOT sweep: seeded bugs x recovery mechanisms on the component trees")
+		scope      = flag.Bool("scope", false, "run the SCOPE experiment: static class/rung prediction vs dynamic ground truth")
 	)
 	flag.Parse()
 
@@ -117,6 +124,15 @@ func run() error {
 	var gate error
 
 	switch {
+	case *scope:
+		rep, err := experiment.RunScope(experiment.ScopeConfig{
+			Seed: *seed, Telemetry: tel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		gate = rep.Check()
 	case *mreboot:
 		rep, err := experiment.RunMReboot(experiment.MRebootConfig{
 			Seed: *seed, Telemetry: tel, Workers: *workers,

@@ -164,40 +164,8 @@ func isSimpleStmt(s ast.Stmt) bool {
 // bounded by the enclosing function.
 func nearestEnvCall(site token.Pos, stack []ast.Node) (envCall, bool) {
 	var candidates []envCall
-	for i := len(stack) - 1; i >= 0; i-- {
-		switch n := stack[i].(type) {
-		case *ast.FuncDecl, *ast.FuncLit:
-			i = -1 // do not escape the enclosing function
-		case *ast.IfStmt:
-			collectEnvCalls(n.Init, &candidates)
-			collectEnvCalls(n.Cond, &candidates)
-		case *ast.SwitchStmt:
-			collectEnvCalls(n.Init, &candidates)
-			collectEnvCalls(n.Tag, &candidates)
-		case *ast.ForStmt:
-			collectEnvCalls(n.Init, &candidates)
-			collectEnvCalls(n.Cond, &candidates)
-		case *ast.RangeStmt:
-			collectEnvCalls(n.X, &candidates)
-		case *ast.BlockStmt:
-			// Locate the child statement our path goes through, then walk its
-			// earlier simple siblings.
-			var child ast.Node
-			if i+1 < len(stack) {
-				child = stack[i+1]
-			}
-			for _, stmt := range n.List {
-				if child != nil && stmt.Pos() <= child.Pos() && child.End() <= stmt.End() {
-					break
-				}
-				if isSimpleStmt(stmt) && stmt.End() <= site {
-					collectEnvCalls(stmt, &candidates)
-				}
-			}
-		}
-		if i < 0 {
-			break
-		}
+	for _, n := range GuardNodes(site, stack) {
+		collectEnvCalls(n, &candidates)
 	}
 	best := envCall{}
 	found := false

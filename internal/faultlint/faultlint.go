@@ -43,7 +43,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"sort"
 
 	"faultstudy/internal/taxonomy"
 )
@@ -239,19 +238,7 @@ func Run(pkgs []*Package, rules []string) (*Result, error) {
 		index.collect(pkg)
 	}
 	index.apply(diags)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		return a.Rule < b.Rule
-	})
+	SortDiagnostics(diags)
 	res.Diagnostics = diags
 	return res, nil
 }

@@ -1,0 +1,71 @@
+package faultlint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzParseIgnore drives the //faultlint:ignore directive parser with
+// arbitrary comment text. The invariants: parseIgnore never panics, is
+// deterministic, recognizes a directive exactly when the trimmed comment
+// text starts with the directive word, never yields an empty or
+// whitespace-bearing rule name, trims the reason, and keeps covers()
+// consistent with the parsed rule set (a bare or wildcard directive covers
+// everything; a rule list covers exactly its members).
+func FuzzParseIgnore(f *testing.F) {
+	f.Add("//faultlint:ignore")
+	f.Add("//faultlint:ignore envcheck best-effort rotate")
+	f.Add("//faultlint:ignore envcheck,wallclock two rules, one reason")
+	f.Add("//faultlint:ignore all legacy file")
+	f.Add("//faultlint:ignore * wildcard")
+	f.Add("//faultlint:ignore scopegap legacy mechanism, retired next release")
+	f.Add("//faultlint:ignore ,,,")
+	f.Add("//   faultlint:ignore envcheck padded")
+	f.Add("// faultlint:ignorance is bliss")
+	f.Add("//faultlint:ignoreenvcheck")
+	f.Add("// just a comment")
+	f.Add("/* block comment */")
+	f.Add("//")
+	f.Add("")
+	f.Add("//faultlint:ignore\tenvcheck\ttabbed reason")
+	f.Add("//faultlint:ignore env\x00check")
+	f.Fuzz(func(t *testing.T, text string) {
+		sup, ok := parseIgnore(text)
+		sup2, ok2 := parseIgnore(text)
+		if ok != ok2 || sup.reason != sup2.reason || len(sup.rules) != len(sup2.rules) {
+			t.Fatalf("parseIgnore not deterministic on %q", text)
+		}
+
+		trimmed := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+		if ok != strings.HasPrefix(trimmed, ignoreDirective) {
+			t.Fatalf("parseIgnore(%q) ok=%v disagrees with directive prefix", text, ok)
+		}
+		if !ok {
+			return
+		}
+
+		if sup.reason != strings.TrimSpace(sup.reason) {
+			t.Fatalf("parseIgnore(%q) reason %q not trimmed", text, sup.reason)
+		}
+		for rule := range sup.rules {
+			if rule == "" {
+				t.Fatalf("parseIgnore(%q) produced an empty rule", text)
+			}
+			if strings.ContainsRune(rule, ',') || strings.ContainsFunc(rule, unicode.IsSpace) {
+				t.Fatalf("parseIgnore(%q) rule %q contains a separator", text, rule)
+			}
+			if !sup.covers(rule) {
+				t.Fatalf("parseIgnore(%q) does not cover its own rule %q", text, rule)
+			}
+		}
+		if sup.rules == nil {
+			// Bare or wildcard directive: covers everything.
+			if !sup.covers("envcheck") || !sup.covers("") {
+				t.Fatalf("parseIgnore(%q) bare directive fails to cover", text)
+			}
+		} else if got, want := sup.covers("no-such-rule-ever"), sup.rules["no-such-rule-ever"]; got != want {
+			t.Fatalf("parseIgnore(%q) covers mismatch for unlisted rule: %v vs %v", text, got, want)
+		}
+	})
+}

@@ -55,7 +55,9 @@ func (si *stubImporter) Import(path string) (*types.Package, error) {
 		name = name[i+1:]
 	}
 	// "math/rand/v2"-style paths name the package after the parent element.
-	if strings.HasPrefix(name, "v") && len(name) > 1 && name[1] >= '0' && name[1] <= '9' {
+	// A bare version-shaped path ("v8") has no parent and keeps its own name.
+	if strings.HasPrefix(name, "v") && len(name) > 1 && name[1] >= '0' && name[1] <= '9' &&
+		len(path) > len(name) {
 		trimmed := path[:len(path)-len(name)-1]
 		if i := strings.LastIndexByte(trimmed, '/'); i >= 0 {
 			name = trimmed[i+1:]

@@ -1,0 +1,166 @@
+package faultlint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree authors a package tree under a temp root: each entry maps a
+// relative path to file content.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadMissingStubPackage: an import with no package on disk must load via
+// the stub importer — the tolerated member-lookup failures land in TypeErrors
+// while package-local objects stay resolved.
+func TestLoadMissingStubPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"app/app.go": `package app
+
+import "no/such/dep"
+
+const key = "app/fault"
+
+func use() string { return dep.Value(key) }
+`,
+	})
+	pkg, err := LoadDir(token.NewFileSet(), filepath.Join(root, "app"))
+	if err != nil {
+		t.Fatalf("LoadDir with missing import: %v", err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Error("no tolerated type errors recorded for the unresolvable member lookup")
+	}
+	if got := pkg.consts["key"]; got != "app/fault" {
+		t.Errorf("package-local const lost under stub imports: %q", got)
+	}
+}
+
+// TestStubImporterVersionedPath: "…/v2"-style import paths must stub to the
+// parent element's package name, and repeated imports must share one stub.
+func TestStubImporterVersionedPath(t *testing.T) {
+	si := &stubImporter{}
+	for path, want := range map[string]string{
+		"math/rand/v2":    "rand",
+		"example.com/mod": "mod",
+		"v8":              "v8", // bare version-shaped path has no parent to name it
+		"plain":           "plain",
+	} {
+		p, err := si.Import(path)
+		if err != nil {
+			t.Fatalf("Import(%s): %v", path, err)
+		}
+		if p.Name() != want {
+			t.Errorf("Import(%s).Name() = %q, want %q", path, p.Name(), want)
+		}
+		again, _ := si.Import(path)
+		if again != p {
+			t.Errorf("Import(%s) not cached", path)
+		}
+	}
+}
+
+// TestLoadCyclicImport: two packages importing each other must both load —
+// the stub importer breaks the cycle by never reading the other directory.
+func TestLoadCyclicImport(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": `package a
+
+import "cycle/b"
+
+func A() { b.B() }
+`,
+		"b/b.go": `package b
+
+import "cycle/a"
+
+func B() { a.A() }
+`,
+	})
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load over a cyclic pair: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want both halves of the cycle", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.Files) != 1 {
+			t.Errorf("%s: %d files parsed", pkg.Name, len(pkg.Files))
+		}
+	}
+}
+
+// TestLoadParseErrorInMultiFilePackage: a parse error in one file of a
+// multi-file package is a hard error naming the broken file — syntax errors
+// are the author's to fix, not the loader's to tolerate.
+func TestLoadParseErrorInMultiFilePackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"app/good.go":   "package app\n\nfunc ok() {}\n",
+		"app/broken.go": "package app\n\nfunc oops( {\n",
+		"app/tail.go":   "package app\n\nfunc also() {}\n",
+	})
+	_, err := LoadDir(token.NewFileSet(), filepath.Join(root, "app"))
+	if err == nil {
+		t.Fatal("LoadDir tolerated a syntax error")
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("error does not name the broken file: %v", err)
+	}
+	// The same failure must surface through pattern expansion.
+	if _, err := Load(root, []string{"./..."}); err == nil {
+		t.Error("Load(./...) tolerated the syntax error")
+	}
+}
+
+// TestLoadDirMissing: an unreadable directory is a hard error, both directly
+// and through a non-recursive pattern.
+func TestLoadDirMissing(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope")
+	if _, err := LoadDir(token.NewFileSet(), missing); err == nil {
+		t.Error("LoadDir on a missing directory did not fail")
+	}
+	if _, err := Load(t.TempDir(), []string{"nope"}); err == nil {
+		t.Error("Load with a missing pattern directory did not fail")
+	}
+}
+
+// TestLoadMixedPackageDir: files whose package clause disagrees with the
+// directory majority (first clause wins) are skipped, not fatal.
+func TestLoadMixedPackageDir(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"app/a.go":     "package app\n\nfunc a() {}\n",
+		"app/stray.go": "package other\n\nfunc s() {}\n",
+	})
+	pkg, err := LoadDir(token.NewFileSet(), filepath.Join(root, "app"))
+	if err != nil {
+		t.Fatalf("LoadDir over a mixed-package dir: %v", err)
+	}
+	if pkg.Name != "app" || len(pkg.Files) != 1 {
+		t.Errorf("kept package %q with %d files, want app with 1", pkg.Name, len(pkg.Files))
+	}
+}
+
+// TestLoadEmptyDir: a directory with no Go files loads as (nil, nil).
+func TestLoadEmptyDir(t *testing.T) {
+	root := writeTree(t, map[string]string{"app/README.md": "no go here\n"})
+	pkg, err := LoadDir(token.NewFileSet(), filepath.Join(root, "app"))
+	if err != nil || pkg != nil {
+		t.Errorf("LoadDir on a Go-less dir = (%v, %v), want (nil, nil)", pkg, err)
+	}
+}

@@ -36,6 +36,11 @@ type ClassSummary struct {
 	// then served the failed operation. Together they show where on the
 	// ladder a class's recovery effort goes and where it pays off.
 	RungAttempts, RungSuccesses map[string]int
+	// Planned is the statically planned-rung distribution over episodes that
+	// carry a recovery-scope prediction (the SCOPE experiment); empty
+	// elsewhere. Read against Rungs it shows where the static plan and the
+	// dynamic outcome diverge.
+	Planned map[string]int
 }
 
 // served counts episodes that ended with the op served.
@@ -64,13 +69,17 @@ func Summarize(episodes []*Episode) []*ClassSummary {
 		cs, ok := byClass[e.Class]
 		if !ok {
 			cs = &ClassSummary{Class: e.Class, Rungs: make(map[string]int),
-				RungAttempts: make(map[string]int), RungSuccesses: make(map[string]int)}
+				RungAttempts: make(map[string]int), RungSuccesses: make(map[string]int),
+				Planned: make(map[string]int)}
 			byClass[e.Class] = cs
 		}
 		cs.Episodes++
 		cs.Retries += e.Retries
 		if e.FinalRung != "" {
 			cs.Rungs[e.FinalRung]++
+		}
+		if e.PlannedRung != "" {
+			cs.Planned[e.PlannedRung]++
 		}
 		for _, sp := range e.Spans {
 			if sp.Rung == "" {
@@ -136,7 +145,7 @@ func secDur(s float64) time.Duration {
 }
 
 // rungOrder fixes the ladder order used when rendering rung distributions.
-var rungOrder = []string{"retry", "microreboot", "restore", "restart", "degraded"}
+var rungOrder = []string{"retry", "microreboot", "subtree-reboot", "restore", "restart", "degraded"}
 
 // renderRungs renders a final-rung distribution compactly in ladder order,
 // unknown rungs last alphabetically.
@@ -202,7 +211,7 @@ func renderRungRatio(attempts, successes map[string]int) string {
 func RenderSummary(sums []*ClassSummary) string {
 	tbl := &stats.Table{Header: []string{
 		"class", "episodes", "served", "degraded", "shed", "lost", "fast-fail",
-		"MTTR(mean)", "MTTR(p95)", "retries/recovery", "rung attempts/ok", "final rungs",
+		"MTTR(mean)", "MTTR(p95)", "retries/recovery", "rung attempts/ok", "planned rungs", "final rungs",
 	}}
 	for _, cs := range sums {
 		frac := func(n int) string {
@@ -220,7 +229,8 @@ func RenderSummary(sums []*ClassSummary) string {
 		tbl.Add(cs.Class, fmt.Sprint(cs.Episodes),
 			frac(cs.served()), frac(cs.Degraded), frac(cs.Shed), frac(cs.Lost), frac(cs.FastFailed),
 			mttrMean, mttrP95, rpr,
-			renderRungRatio(cs.RungAttempts, cs.RungSuccesses), renderRungs(cs.Rungs))
+			renderRungRatio(cs.RungAttempts, cs.RungSuccesses),
+			renderRungs(cs.Planned), renderRungs(cs.Rungs))
 	}
 	return "Recovery telemetry by fault class:\n" + tbl.String()
 }

@@ -112,6 +112,10 @@ type Episode struct {
 	Retries int `json:"retries"`
 	// FinalRung is the ladder rung (or strategy) in effect at the verdict.
 	FinalRung string `json:"final_rung,omitempty"`
+	// PlannedRung is the statically predicted minimal recovery rung for the
+	// episode's mechanism, when a recovery-scope analysis supplied one (the
+	// SCOPE experiment); empty elsewhere.
+	PlannedRung string `json:"planned_rung,omitempty"`
 	// Spans is the episode's timeline, in record order.
 	Spans []Span `json:"spans,omitempty"`
 }
@@ -151,6 +155,9 @@ type Context struct {
 	// ClassFor resolves a mechanism key to a class short name when Class is
 	// empty — the soak path, where one run hosts several mechanisms.
 	ClassFor func(mechanism string) string
+	// PlannedRung, when set, stamps every opened episode with the statically
+	// predicted minimal recovery rung (the SCOPE experiment's prediction).
+	PlannedRung string
 }
 
 // NewRecorder builds an empty recorder.
@@ -190,6 +197,8 @@ func (r *Recorder) Begin(at time.Duration, op, mechanism string) {
 		Op:        op,
 		StartUS:   US(at),
 		EndUS:     US(at),
+
+		PlannedRung: r.ctx.PlannedRung,
 	}
 	r.open = e
 }

@@ -1,0 +1,303 @@
+package recoveryscope
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"faultstudy/internal/faultlint"
+)
+
+// Component is one statically-extracted member of an application's
+// Componentize decomposition.
+type Component struct {
+	// Name is the component name constant ("httpd/core").
+	Name string
+	// Deps are the component names this one depends on.
+	Deps []string
+	// KillWrites is the write set of the component's OnKill hook, expanded
+	// through the call graph — the state a crash-stop of this component
+	// discards or releases.
+	KillWrites *WriteSet
+	// StartWrites is the OnStart hook's expanded write set.
+	StartWrites *WriteSet
+}
+
+// ComponentMap is the statically-extracted component decomposition of one
+// package: the tree shape, each component's kill-released state, and the
+// package's mechanism→component attribution map.
+type ComponentMap struct {
+	// Dir is the package directory.
+	Dir string
+	// Components indexes the extracted components by name.
+	Components map[string]*Component
+	// Order lists the component names in declaration order (the MustAdd
+	// order, which is also dependency order).
+	Order []string
+	// Root is the first component declared with no dependencies.
+	Root string
+	// MechanismComponent maps each mechanism key to the component its
+	// defect lives in, from the package's map[string]string literal.
+	MechanismComponent map[string]string
+	// FieldOwner maps each kill-released field to the first component (in
+	// declaration order) whose OnKill hook writes it — the component whose
+	// microreboot clears that state.
+	FieldOwner map[string]string
+	// HookTypes is the set of type qualifiers the hooks' write sets touch —
+	// the structs holding component-owned state. A fault-path write to a
+	// field on one of these types is component state; writes to other types
+	// (a parsed statement, a scratch struct) are not.
+	HookTypes map[string]bool
+}
+
+// dependents computes the inverse dependency edges: which components list
+// name in their Deps.
+func (cm *ComponentMap) dependents(name string) []string {
+	var out []string
+	for _, n := range cm.Order {
+		for _, d := range cm.Components[n].Deps {
+			if d == name {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Subtree returns the component and its transitive dependents — the members
+// a subtree-reboot of name cycles.
+func (cm *ComponentMap) Subtree(name string) map[string]bool {
+	out := map[string]bool{name: true}
+	queue := []string{name}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, d := range cm.dependents(n) {
+			if !out[d] {
+				out[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return out
+}
+
+// KillReleasedFields returns every field any component's OnKill hook writes.
+func (cm *ComponentMap) KillReleasedFields() map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range cm.Order {
+		for f := range cm.Components[n].KillWrites.Fields {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+// isComponentPath reports whether an import path denotes the component
+// runtime package (the real one or a fixture stand-in).
+func isComponentPath(path string) bool {
+	return path == "component" || strings.HasSuffix(path, "/component")
+}
+
+// BuildComponentMaps extracts the component decomposition of every package
+// in the graph that declares component.Spec literals, keyed by package
+// directory.
+func BuildComponentMaps(g *Graph) map[string]*ComponentMap {
+	out := make(map[string]*ComponentMap)
+	for _, p := range g.Pkgs {
+		cm := &ComponentMap{
+			Dir:                p.Dir,
+			Components:         make(map[string]*Component),
+			MechanismComponent: make(map[string]string),
+			FieldOwner:         make(map[string]string),
+			HookTypes:          make(map[string]bool),
+		}
+		type specLit struct {
+			pos  token.Pos
+			comp *Component
+		}
+		var specs []specLit
+		for _, f := range p.Files {
+			file := f
+			ast.Inspect(file, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				sel, ok := lit.Type.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Spec" {
+					return true
+				}
+				if path, _, ok := p.PkgQualified(file, sel); !ok || !isComponentPath(path) {
+					return true
+				}
+				if comp := g.parseSpec(p, file, lit); comp != nil {
+					specs = append(specs, specLit{pos: lit.Pos(), comp: comp})
+				}
+				return true
+			})
+		}
+		if len(specs) == 0 {
+			continue
+		}
+		// Declaration order: file iteration follows sorted file names and
+		// positions are monotone within a file set, so position order is the
+		// MustAdd order.
+		sort.Slice(specs, func(i, j int) bool { return specs[i].pos < specs[j].pos })
+		for _, s := range specs {
+			if _, dup := cm.Components[s.comp.Name]; dup {
+				continue
+			}
+			cm.Components[s.comp.Name] = s.comp
+			cm.Order = append(cm.Order, s.comp.Name)
+			if cm.Root == "" && len(s.comp.Deps) == 0 {
+				cm.Root = s.comp.Name
+			}
+		}
+		for _, name := range cm.Order {
+			c := cm.Components[name]
+			for _, field := range c.KillWrites.SortedFields() {
+				if _, taken := cm.FieldOwner[field]; !taken {
+					cm.FieldOwner[field] = name
+				}
+			}
+			for _, ws := range []*WriteSet{c.KillWrites, c.StartWrites} {
+				for field := range ws.Fields {
+					if t := fieldType(field); t != "" {
+						cm.HookTypes[t] = true
+					}
+				}
+			}
+		}
+		collectMechanismMap(g, p, cm)
+		out[p.Dir] = cm
+	}
+	return out
+}
+
+// parseSpec reads one component.Spec literal: the NewPart name and hooks,
+// and the Deps list.
+func (g *Graph) parseSpec(p *faultlint.Package, f *ast.File, lit *ast.CompositeLit) *Component {
+	comp := &Component{KillWrites: NewWriteSet(), StartWrites: NewWriteSet()}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Deps":
+			if dl, ok := kv.Value.(*ast.CompositeLit); ok {
+				for _, de := range dl.Elts {
+					if v, ok := p.ConstString(de); ok {
+						comp.Deps = append(comp.Deps, v)
+					}
+				}
+			}
+		case "Component":
+			call, ok := kv.Value.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NewPart" || len(call.Args) < 2 {
+				continue
+			}
+			if v, ok := p.ConstString(call.Args[0]); ok {
+				comp.Name = v
+			}
+			g.parseHooks(p, f, call.Args[1], comp)
+		}
+	}
+	if comp.Name == "" {
+		return nil
+	}
+	return comp
+}
+
+// parseHooks expands the OnKill/OnStart function literals of a
+// component.Hooks value into write sets, following calls through the graph
+// so a hook that delegates to closeLeakFDsLocked still owns leakFDs.
+func (g *Graph) parseHooks(p *faultlint.Package, f *ast.File, hooksExpr ast.Expr, comp *Component) {
+	hooks, ok := hooksExpr.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range hooks.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fl, ok := kv.Value.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ws := NewWriteSet()
+		collectWrites(p, fl.Body, g.globalsByPkg[p.Dir], ws)
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				for _, callee := range g.ResolveCall(p, f, call) {
+					ws.Merge(callee.Reach)
+				}
+			}
+			return true
+		})
+		switch key.Name {
+		case "OnKill":
+			comp.KillWrites.Merge(ws)
+		case "OnStart":
+			comp.StartWrites.Merge(ws)
+		}
+	}
+}
+
+// collectMechanismMap finds the package's mechanism→component attribution:
+// any package-level map literal whose keys are mechanism-shaped constants
+// (containing "/") and whose values name extracted components.
+func collectMechanismMap(g *Graph, p *faultlint.Package, cm *ComponentMap) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, value := range vs.Values {
+					ml, ok := value.(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range ml.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						mech, ok := p.ConstString(kv.Key)
+						if !ok || !strings.Contains(mech, "/") {
+							continue
+						}
+						comp, ok := p.ConstString(kv.Value)
+						if !ok {
+							continue
+						}
+						if _, known := cm.Components[comp]; known {
+							cm.MechanismComponent[mech] = comp
+						}
+					}
+				}
+			}
+		}
+	}
+}

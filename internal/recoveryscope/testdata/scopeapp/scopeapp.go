@@ -1,0 +1,212 @@
+// Package scopeapp is a fixture: one miniature componentized application
+// exercising every prediction path of the recoveryscope analysis — direct
+// and interprocedural class evidence, path/function taint in all three
+// state domains, and each recovery rung from retry to restart.
+package scopeapp
+
+import (
+	"sim/component"
+	"sim/faultinject"
+)
+
+const (
+	compCore   = "app/core"
+	compWorker = "app/worker"
+	compCache  = "app/cache"
+)
+
+const (
+	mechPureBug    = "app/pure-bug"
+	mechSlowLeak   = "app/slow-leak"
+	mechFDLeak     = "app/fd-leak"
+	mechDiskFull   = "app/disk-full"
+	mechDNSFlap    = "app/dns-flap"
+	mechRaceCrash  = "app/race-crash"
+	mechCrossTaint = "app/cross-taint"
+	mechLedgerSkew = "app/ledger-skew"
+	mechWildWrite  = "app/wild-write"
+	mechOrphan     = "app/orphan"
+)
+
+// componentFor attributes each mechanism to its component; mechOrphan is
+// deliberately missing (the scopegap case).
+var componentFor = map[string]string{
+	mechPureBug:    compCore,
+	mechSlowLeak:   compCore,
+	mechFDLeak:     compWorker,
+	mechDiskFull:   compCore,
+	mechDNSFlap:    compWorker,
+	mechRaceCrash:  compCache,
+	mechCrossTaint: compWorker,
+	mechLedgerSkew: compCore,
+	mechWildWrite:  compCore,
+}
+
+type fdsT struct{}
+
+func (fdsT) Open(owner string) (int, error) { return 0, nil }
+
+type diskT struct{}
+
+func (diskT) Append(name string, n int) error { return nil }
+
+type dnsT struct{}
+
+func (dnsT) Lookup(host string) (string, error) { return "", nil }
+
+type schedT struct{}
+
+func (schedT) RaceFires(key string) bool { return false }
+
+type simEnv struct{}
+
+func (simEnv) FDs() fdsT     { return fdsT{} }
+func (simEnv) Disk() diskT   { return diskT{} }
+func (simEnv) DNS() dnsT     { return dnsT{} }
+func (simEnv) Sched() schedT { return schedT{} }
+
+type kv struct{}
+
+func (kv) Incr(bucket, key string) int { return 0 }
+
+type server struct {
+	env     simEnv
+	store   kv
+	running bool
+
+	leakBufs   int
+	fds        []int
+	jobs       int
+	cacheDirty int
+	genCount   int
+}
+
+// Componentize declares the three-part tree: core <- worker <- cache.
+func (s *server) Componentize(add func(component.Spec)) {
+	add(component.Spec{Component: component.NewPart(compCore, component.Hooks{
+		OnKill: func() { s.leakBufs = 0 },
+	})})
+	add(component.Spec{Deps: []string{compCore}, Component: component.NewPart(compWorker, component.Hooks{
+		OnKill: func() { s.closeFDs(); s.jobs = 0 },
+	})})
+	add(component.Spec{Deps: []string{compWorker}, Component: component.NewPart(compCache, component.Hooks{
+		OnKill: func() { s.cacheDirty = 0 },
+	})})
+}
+
+// closeFDs releases the worker's descriptors; the worker OnKill hook
+// delegates here, so fds is kill-released through the call graph.
+func (s *server) closeFDs() {
+	s.fds = nil
+}
+
+// pureBug: EI, error symptom, no path taint -> retry.
+func (s *server) pureBug(n int) error {
+	if n > 100 {
+		return faultinject.Fail(mechPureBug, "error", "bounds")
+	}
+	return nil
+}
+
+// slowLeak: EI crash with path taint on leakBufs (kill-released by core)
+// -> microreboot app/core.
+func (s *server) slowLeak() error {
+	s.leakBufs++
+	if s.leakBufs > 10 {
+		s.running = false
+		return faultinject.Fail(mechSlowLeak, "crash", "leak tipped over")
+	}
+	return nil
+}
+
+// openScratch reaches the environment; callers that guard on it inherit its
+// FD-exhaustion trigger interprocedurally.
+func (s *server) openScratch() (int, error) {
+	fd, err := s.env.FDs().Open("scopeapp")
+	if err != nil {
+		return 0, err
+	}
+	s.fds = append(s.fds, fd)
+	return fd, nil
+}
+
+// fdLeak: no env call visible here — the dependence flows through
+// openScratch. EDN with fds kill-releasable -> microreboot app/worker.
+func (s *server) fdLeak() error {
+	fd, err := s.openScratch()
+	if err != nil || fd < 0 {
+		return faultinject.Fail(mechFDLeak, "crash", "out of descriptors")
+	}
+	return nil
+}
+
+// diskFull: direct EDN evidence, nothing releasable -> restart.
+func (s *server) diskFull(n int) error {
+	if err := s.env.Disk().Append("wal", n); err != nil {
+		return faultinject.Fail(mechDiskFull, "error", "disk full")
+	}
+	return nil
+}
+
+// dnsFlap: direct EDT evidence, still serving -> retry.
+func (s *server) dnsFlap(host string) error {
+	addr, err := s.env.DNS().Lookup(host)
+	if err != nil || addr == "" {
+		return faultinject.Fail(mechDNSFlap, "error", "lookup failed")
+	}
+	return nil
+}
+
+// raceCrash: EDT but crash-like -> contain in the owning component
+// (microreboot app/cache).
+func (s *server) raceCrash() error {
+	if s.env.Sched().RaceFires(mechRaceCrash) {
+		s.running = false
+		return faultinject.Fail(mechRaceCrash, "crash", "lost the race")
+	}
+	return nil
+}
+
+// crossTaint: the fault path dirties worker state and cache state; the
+// blast radius {worker, cache} is exactly worker's subtree
+// -> subtree-reboot app/worker.
+func (s *server) crossTaint() error {
+	s.jobs++
+	s.cacheDirty++
+	if s.jobs > 50 {
+		return faultinject.Fail(mechCrossTaint, "crash", "cross-component slip")
+	}
+	return nil
+}
+
+// ledgerSkew: the fault path mutates an externalized-store bucket — outside
+// every component's failure domain -> restart.
+func (s *server) ledgerSkew(key string) error {
+	n := s.store.Incr("ledger/ops", key)
+	if n < 0 {
+		return faultinject.Fail(mechLedgerSkew, "crash", "ledger skewed")
+	}
+	return nil
+}
+
+// wildWrite: path taint on genCount, which no OnKill hook releases — a
+// reboot cannot clear it -> restore.
+func (s *server) wildWrite() error {
+	s.genCount++
+	if s.genCount > 7 {
+		return faultinject.Fail(mechWildWrite, "crash", "untracked state")
+	}
+	return nil
+}
+
+// orphan: a crash with no component attribution (mechOrphan is absent from
+// componentFor) -> restore, plus a gating scopegap finding.
+func (s *server) orphan() error {
+	if s.jobs < 0 {
+		return faultinject.Fail(mechOrphan, "crash", "unattributed")
+	}
+	return nil
+}
+
+// jobsSnapshot exists so the mechanism constants and fields are all used.
+func (s *server) jobsSnapshot() (int, bool) { return s.jobs, s.running }
