@@ -2,11 +2,19 @@
 // godoc is part of the deliverable: every exported identifier — functions,
 // methods, types, constants, variables, struct fields, and interface methods
 // — must carry a doc comment. CI runs it over internal/obsv,
-// internal/supervise, and internal/recovery and fails on any finding.
+// internal/supervise, internal/recovery, and internal/traffic and fails on
+// any finding.
+//
+// With -flags, doccheck switches contracts: it parses every command under
+// the -cmds directory for flag definitions and verifies that every CLI flag
+// the given markdown files document actually exists on the binary — the gate
+// against documentation drifting from the CLIs it describes.
 //
 // Usage:
 //
-//	doccheck ./internal/obsv ./internal/supervise ./internal/recovery
+//	doccheck ./internal/obsv ./internal/supervise ./internal/recovery ./internal/traffic
+//	doccheck -flags README.md EXPERIMENTS.md SERVING.md
+//	doccheck -flags -cmds ./cmd *.md
 package main
 
 import (
@@ -21,14 +29,19 @@ import (
 )
 
 func main() {
+	flagsMode := flag.Bool("flags", false, "check documented CLI flags against the flag definitions of the commands")
+	cmdsDir := flag.String("cmds", "cmd", "directory holding the command packages (with -flags)")
 	flag.Parse()
-	dirs := flag.Args()
-	if len(dirs) == 0 {
-		fmt.Fprintln(os.Stderr, "doccheck: usage: doccheck <package-dir> ...")
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: usage: doccheck <package-dir> ... | doccheck -flags <doc.md> ...")
 		os.Exit(2)
 	}
+	if *flagsMode {
+		os.Exit(runFlagsMode(*cmdsDir, args))
+	}
 	var findings []string
-	for _, dir := range dirs {
+	for _, dir := range args {
 		fs, err := checkDir(dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doccheck:", err)
@@ -43,7 +56,219 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", len(findings))
 		os.Exit(1)
 	}
-	fmt.Printf("doccheck: %d packages clean\n", len(dirs))
+	fmt.Printf("doccheck: %d packages clean\n", len(args))
+}
+
+// runFlagsMode checks every documented CLI flag in the given markdown files
+// against the flags the commands under cmdsDir actually define; the return
+// value is the process exit code.
+func runFlagsMode(cmdsDir string, docs []string) int {
+	bins, err := collectFlags(cmdsDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		return 2
+	}
+	if len(bins) == 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: no commands found under %s\n", cmdsDir)
+		return 2
+	}
+	var findings []string
+	for _, doc := range docs {
+		fs, err := checkDocFlags(bins, doc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d documented flags do not exist on their binaries\n", len(findings))
+		return 1
+	}
+	fmt.Printf("doccheck: %d docs clean against %d commands\n", len(docs), len(bins))
+	return 0
+}
+
+// collectFlags parses every command package under cmdsDir (one subdirectory
+// per binary, tests excluded) and returns binary name -> defined flag names,
+// harvested from Bool/Int/String/... and Var definition calls with literal
+// name arguments — on the flag package itself or on any FlagSet variable.
+func collectFlags(cmdsDir string) (map[string]map[string]bool, error) {
+	entries, err := os.ReadDir(cmdsDir)
+	if err != nil {
+		return nil, fmt.Errorf("read commands dir %s: %w", cmdsDir, err)
+	}
+	bins := make(map[string]map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(cmdsDir, e.Name())
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", dir, err)
+		}
+		if len(pkgs) == 0 {
+			continue
+		}
+		flags := map[string]bool{"h": true, "help": true} // the flag package's builtins
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if _, ok := sel.X.(*ast.Ident); !ok {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "Bool", "Int", "Int64", "Uint", "Uint64", "Float64",
+						"String", "Duration", "Var", "BoolVar", "IntVar",
+						"Int64Var", "StringVar", "Float64Var", "DurationVar":
+					default:
+						return true
+					}
+					nameArg := call.Args[0]
+					if strings.HasSuffix(sel.Sel.Name, "Var") && len(call.Args) > 1 {
+						nameArg = call.Args[1]
+					}
+					if lit, ok := nameArg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						flags[strings.Trim(lit.Value, `"`)] = true
+					}
+					return true
+				})
+			}
+		}
+		bins[e.Name()] = flags
+	}
+	return bins, nil
+}
+
+// otherCommands are non-repo commands that appear in doc command lines;
+// mentioning one stops flag attribution until a repo binary is mentioned
+// again, so "go test -run X" never checks -run against a repo binary.
+var otherCommands = map[string]bool{
+	"go": true, "gofmt": true, "git": true, "curl": true, "grep": true,
+}
+
+// checkDocFlags scans one markdown file: on every line that mentions a known
+// binary, each "-flagname" token must be a flag that binary defines. When a
+// line mentions exactly one command, every flag token on it is attributed to
+// that binary (the prose case: "the -serve flag of recoverylab"); when it
+// mentions several, each token is attributed to the nearest preceding
+// mention, so "recoverylab -serve ... go test -run X" attributes correctly.
+func checkDocFlags(bins map[string]map[string]bool, path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		toks := tokenize(line)
+		sole, mentioned := soleBinary(toks, bins)
+		if !mentioned {
+			continue
+		}
+		current := sole // "" unless exactly one command is named on the line
+		for _, tok := range toks {
+			if flagName, ok := strings.CutPrefix(tok, "-"); ok && isFlagToken(flagName) {
+				if current == "" {
+					continue
+				}
+				if !bins[current][flagName] {
+					findings = append(findings, fmt.Sprintf(
+						"%s:%d: documented flag -%s does not exist on %s",
+						path, lineNo+1, flagName, current))
+				}
+				continue
+			}
+			if name, known := binMention(tok, bins); known {
+				current = name
+			} else if otherCommands[tok] {
+				current = ""
+			}
+		}
+	}
+	return findings, nil
+}
+
+// soleBinary reports whether the tokens mention any known binary, and names
+// it when exactly one command (binary or external) is mentioned on the line.
+func soleBinary(toks []string, bins map[string]map[string]bool) (string, bool) {
+	sole, commands, mentioned := "", 0, false
+	for _, tok := range toks {
+		if name, ok := binMention(tok, bins); ok {
+			mentioned, sole = true, name
+			commands++
+		} else if otherCommands[tok] {
+			commands++
+		}
+	}
+	if commands != 1 {
+		sole = ""
+	}
+	return sole, mentioned
+}
+
+// binMention resolves a token to a known binary name — either the bare name
+// or a path whose basename is one ("cmd/recoverylab", "./cmd/faultlint").
+func binMention(tok string, bins map[string]map[string]bool) (string, bool) {
+	if _, ok := bins[tok]; ok {
+		return tok, true
+	}
+	if i := strings.LastIndexByte(tok, '/'); i >= 0 {
+		if base := tok[i+1:]; base != "" {
+			if _, ok := bins[base]; ok {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// tokenize splits a doc line on whitespace and strips the markdown and
+// punctuation that wraps words and flags in prose (backticks, quotes,
+// brackets, trailing commas); "=value" suffixes are cut so "-prom=out.prom"
+// checks the flag name alone.
+func tokenize(line string) []string {
+	var toks []string
+	for _, f := range strings.Fields(line) {
+		tok := strings.Trim(f, "`\"'*.,:;()[]|<>")
+		if strings.HasPrefix(tok, "-") {
+			if i := strings.IndexByte(tok, '='); i > 0 {
+				tok = tok[:i]
+			}
+		}
+		toks = append(toks, tok)
+	}
+	return toks
+}
+
+// isFlagToken reports whether a "-"-stripped token looks like a CLI flag
+// name: lowercase alphanumeric, letter first — which excludes negative
+// numbers, em-dash prose, and "--" separators.
+func isFlagToken(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
 }
 
 // checkDir parses one package directory (tests excluded) and returns one

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCollectFlags harvests the fixture binary's flag set: the four defined
+// flags plus the flag package's builtin h/help.
+func TestCollectFlags(t *testing.T) {
+	bins, err := collectFlags(filepath.Join("testdata", "flags", "cmd"))
+	if err != nil {
+		t.Fatalf("collectFlags: %v", err)
+	}
+	flags, ok := bins["mytool"]
+	if !ok {
+		t.Fatalf("binaries = %v, want mytool", bins)
+	}
+	for _, want := range []string{"seed", "serve", "out", "arrive", "v", "h", "help"} {
+		if !flags[want] {
+			t.Errorf("mytool flag set missing %q: %v", want, flags)
+		}
+	}
+	if len(flags) != 7 {
+		t.Errorf("mytool flag set = %v, want exactly 7 entries", flags)
+	}
+}
+
+// TestCheckDocFlagsClean verifies a doc whose every flag exists — including
+// mixed go-test lines, negative numbers, em-dashes, and prose-only lines —
+// produces no findings.
+func TestCheckDocFlagsClean(t *testing.T) {
+	bins, err := collectFlags(filepath.Join("testdata", "flags", "cmd"))
+	if err != nil {
+		t.Fatalf("collectFlags: %v", err)
+	}
+	findings, err := checkDocFlags(bins, filepath.Join("testdata", "flags", "docs", "good.md"))
+	if err != nil {
+		t.Fatalf("checkDocFlags: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean doc produced findings: %v", findings)
+	}
+}
+
+// TestCheckDocFlagsDrift verifies both drift shapes are caught: a stale flag
+// in a command line and a stale flag attributed through backticked prose.
+func TestCheckDocFlagsDrift(t *testing.T) {
+	bins, err := collectFlags(filepath.Join("testdata", "flags", "cmd"))
+	if err != nil {
+		t.Fatalf("collectFlags: %v", err)
+	}
+	findings, err := checkDocFlags(bins, filepath.Join("testdata", "flags", "docs", "bad.md"))
+	if err != nil {
+		t.Fatalf("checkDocFlags: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want exactly 2", findings)
+	}
+	for i, want := range []string{"-users", "-benchpar"} {
+		if !strings.Contains(findings[i], want) || !strings.Contains(findings[i], "mytool") {
+			t.Errorf("finding %d = %q, want it to name %s on mytool", i, findings[i], want)
+		}
+	}
+}
+
+// TestIsFlagToken pins the token filter that separates flags from negative
+// numbers, dashes, and uppercase prose.
+func TestIsFlagToken(t *testing.T) {
+	for tok, want := range map[string]bool{
+		"serve": true, "reqlog": true, "v2": true,
+		"": false, "5": false, "-": false, "Serve": false, "flag.name": false,
+	} {
+		if got := isFlagToken(tok); got != want {
+			t.Errorf("isFlagToken(%q) = %v, want %v", tok, got, want)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Command mytool is a doccheck -flags test fixture.
+package main
+
+import "flag"
+
+var spec string
+
+func main() {
+	seed := flag.Int64("seed", 42, "rng seed")
+	serve := flag.Bool("serve", false, "run the serving tier")
+	out := flag.String("out", "", "report path")
+	flag.StringVar(&spec, "arrive", "poisson:1ms", "arrival spec")
+	fs := flag.NewFlagSet("mytool", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "verbose output")
+	flag.Parse()
+	_ = seed
+	_ = serve
+	_ = out
+	_ = verbose
+}

@@ -19,6 +19,9 @@
 //	recoverylab -resil                          # chaos faults × client policies over the miner
 //	recoverylab -mreboot                        # seeded bugs × recovery mechanisms on the component trees
 //	recoverylab -scope                          # static class/rung prediction vs dynamic ground truth
+//	recoverylab -serve                          # live-fire serving: open-loop traffic × the recovery ladder
+//	recoverylab -serve -users 2000 -arrive fixed:1ms  # bigger user pool, deterministic arrivals
+//	recoverylab -serve -reqlog serve_requests.jsonl   # write the per-request log
 //
 // -resil exits non-zero unless the sweep's headline holds: under the full
 // client policy, transient (EDT) chaos survival is at least 90% and
@@ -32,6 +35,13 @@
 // of at least 85% of the seeded mechanisms and under-scopes the recovery
 // rung on at most 5% of the environment-independent ones — the CI scope
 // gate.
+//
+// -serve exits non-zero unless, for environment-independent faults under
+// sustained open-loop traffic, a targeted component microreboot burns
+// strictly less SLO error budget than a whole-process restart — the CI
+// serve gate. SERVING.md documents the traffic model; -users sizes the
+// simulated user pool, -arrive picks the arrival process, and -reqlog
+// writes the per-request JSONL log.
 //
 // The telemetry flags (-metrics, -trace, -prom, -timeline) attach the
 // observability layer (internal/obsv) to whichever experiment runs; see
@@ -91,6 +101,10 @@ func run() error {
 		maxPages   = flag.Int("maxpages", 0, "per-arm crawl page cap (with -resil; 0 = default)")
 		mreboot    = flag.Bool("mreboot", false, "run the MREBOOT sweep: seeded bugs x recovery mechanisms on the component trees")
 		scope      = flag.Bool("scope", false, "run the SCOPE experiment: static class/rung prediction vs dynamic ground truth")
+		serve      = flag.Bool("serve", false, "run the SERVE experiment: open-loop traffic x the recovery ladder on daemonized apps")
+		users      = flag.Int("users", 0, "simulated user pool per arm (with -serve; 0 = default 1200)")
+		arrive     = flag.String("arrive", "", "arrival process spec, poisson:<gap> or fixed:<gap> (with -serve; default poisson:1ms)")
+		reqLog     = flag.String("reqlog", "", "write the per-request log to this file as JSONL (with -serve)")
 	)
 	flag.Parse()
 
@@ -124,6 +138,21 @@ func run() error {
 	var gate error
 
 	switch {
+	case *serve:
+		rep, err := experiment.RunServe(experiment.ServeConfig{
+			Seed: *seed, Users: *users, Arrival: *arrive,
+			Telemetry: tel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		if *reqLog != "" {
+			if err := writeRequestLog(rep, *reqLog); err != nil {
+				return err
+			}
+		}
+		gate = rep.Check()
 	case *scope:
 		rep, err := experiment.RunScope(experiment.ScopeConfig{
 			Seed: *seed, Telemetry: tel, Workers: *workers,
@@ -294,6 +323,23 @@ func emitTelemetry(tel *experiment.Telemetry, metrics, timeline bool, traceOut, 
 		}
 		fmt.Printf("wrote metrics to %s\n", promOut)
 	}
+	return nil
+}
+
+// writeRequestLog writes the SERVE experiment's per-request JSONL log.
+func writeRequestLog(rep *experiment.ServeReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteRequestLog(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d request records to %s\n", len(rep.Arms)*rep.Requests, path)
 	return nil
 }
 

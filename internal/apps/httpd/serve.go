@@ -1,0 +1,57 @@
+package httpd
+
+import (
+	"errors"
+	"fmt"
+
+	"faultstudy/internal/component"
+)
+
+// Serving-tier category names for the HTTP operation mix — the same mix
+// workload.HTTPRequests generates, re-expressed as cumulative thresholds
+// over a uniform draw so the open-loop schedule can carry the category
+// choice as a single float.
+const (
+	ServeStatic   = "static"
+	ServeListing  = "listing"
+	ServeCGI      = "cgi"
+	ServeProxy    = "proxy"
+	ServeNotFound = "notfound"
+)
+
+// ServeWarm brings the server to steady state before traffic. The web
+// server needs no schema or cache priming: a freshly started tree serves
+// immediately, so warmup is a no-op kept for the workload.Server contract.
+func (c *Componentized) ServeWarm() error { return nil }
+
+// ServeArrival serves one open-loop arrival: u in [0, 1) picks the request
+// category from the standard 70/10/10/5/5 HTTP mix, seq individualizes
+// paths, and user names the session whose externalized counter the request
+// advances. It returns the category served, the name of the down component
+// when the request was refused mid-reboot, and the serve error.
+func (c *Componentized) ServeArrival(seq, user int, u float64) (category, comp string, err error) {
+	var path string
+	switch {
+	case u < 0.70:
+		category, path = ServeStatic, "/index.html"
+	case u < 0.80:
+		category, path = ServeListing, "/pub/"
+	case u < 0.90:
+		category, path = ServeCGI, "/cgi-bin/env"
+	case u < 0.95:
+		category, path = ServeProxy, fmt.Sprintf("/proxy/page%d", seq%8)
+	default:
+		category, path = ServeNotFound, fmt.Sprintf("/missing-%d", seq)
+	}
+	req := Request{
+		Method:  "GET",
+		Path:    path,
+		Session: fmt.Sprintf("u%05d", user),
+	}
+	_, err = c.Serve(req)
+	var de *component.DownError
+	if errors.As(err, &de) {
+		comp = de.Component
+	}
+	return category, comp, err
+}

@@ -1,0 +1,60 @@
+package httpd
+
+import "testing"
+
+// TestServeArrivalMix pins the category thresholds: the uniform draw must
+// map onto the standard 70/10/10/5/5 mix, and healthy serving must answer
+// every category — including unknown paths, which the server 404s without
+// erroring.
+func TestServeArrivalMix(t *testing.T) {
+	c := newComponentized(t)
+	if err := c.ServeWarm(); err != nil {
+		t.Fatalf("ServeWarm: %v", err)
+	}
+	cases := []struct {
+		u    float64
+		want string
+	}{
+		{0, ServeStatic},
+		{0.699, ServeStatic},
+		{0.70, ServeListing},
+		{0.799, ServeListing},
+		{0.80, ServeCGI},
+		{0.899, ServeCGI},
+		{0.90, ServeProxy},
+		{0.949, ServeProxy},
+		{0.95, ServeNotFound},
+		{0.999, ServeNotFound},
+	}
+	for i, tc := range cases {
+		cat, comp, err := c.ServeArrival(i, i%7, tc.u)
+		if cat != tc.want {
+			t.Errorf("u=%v category %q, want %q", tc.u, cat, tc.want)
+		}
+		if err != nil {
+			t.Errorf("u=%v healthy serve errored: %v", tc.u, err)
+		}
+		if comp != "" {
+			t.Errorf("u=%v healthy serve named down component %q", tc.u, comp)
+		}
+	}
+	// The session counter advanced for each user touched.
+	if got := c.SessionDepth("u00000"); got == 0 {
+		t.Error("ServeArrival did not advance the user session counter")
+	}
+}
+
+// TestServeArrivalRefusedNamesComponent verifies the refusal contract the
+// SERVE experiment classifies on: a request routed through a down component
+// returns that component's name, while siblings keep serving.
+func TestServeArrivalRefusedNamesComponent(t *testing.T) {
+	c := newComponentized(t)
+	c.Tree().Kill(CompCache)
+	if _, comp, err := c.ServeArrival(1, 1, 0.92); err == nil || comp != CompCache {
+		t.Fatalf("proxy through dead cache: comp=%q err=%v, want refusal naming %q", comp, err, CompCache)
+	}
+	// Static requests do not route through the cache: still served.
+	if _, comp, err := c.ServeArrival(2, 2, 0.1); err != nil || comp != "" {
+		t.Fatalf("static with dead cache: comp=%q err=%v, want clean serve", comp, err)
+	}
+}

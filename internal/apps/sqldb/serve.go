@@ -1,0 +1,80 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+
+	"faultstudy/internal/component"
+)
+
+// Serving-tier category names for the SQL operation mix.
+const (
+	ServeSelect = "select"
+	ServeInsert = "insert"
+	ServeCount  = "count"
+	ServeUpdate = "update"
+)
+
+// ServeTable is the table the serving tier reads and writes. ServeWarm
+// creates it; the restart rung re-runs ServeWarm after Reset, the way a
+// process restart re-runs a database's init script.
+const ServeTable = "serve"
+
+// ServeWarm brings the database to steady state before traffic: a warmup
+// session creates the serve table and seeds enough rows that the first
+// selects have something to read.
+func (c *Componentized) ServeWarm() error {
+	if err := c.Connect("warmup", "10.0.0.1"); err != nil {
+		return err
+	}
+	if _, err := c.Exec("warmup", "CREATE TABLE "+ServeTable+" (k INT, payload TEXT)"); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Exec("warmup", fmt.Sprintf("INSERT INTO %s VALUES (%d, 'seed%d')", ServeTable, i, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeArrival serves one open-loop arrival: u in [0, 1) picks the
+// statement kind from a 55/20/15/10 select/insert/count/update mix, seq
+// individualizes keys, and user names the client session. Sessions connect
+// lazily and survive in the externalized store, so a rebooted listener does
+// not force every user back through Connect. It returns the category
+// served, the down component's name when the request was refused
+// mid-reboot, and the execution error.
+func (c *Componentized) ServeArrival(seq, user int, u float64) (category, comp string, err error) {
+	session := fmt.Sprintf("u%05d", user)
+	if !c.SessionAlive(session) {
+		if err = c.Connect(session, fmt.Sprintf("10.1.%d.%d", user/256, user%256)); err != nil {
+			var de *component.DownError
+			if errors.As(err, &de) {
+				comp = de.Component
+			}
+			return "connect", comp, err
+		}
+	}
+	var stmt string
+	switch {
+	case u < 0.55:
+		category = ServeSelect
+		stmt = fmt.Sprintf("SELECT * FROM %s WHERE k <= %d ORDER BY k LIMIT 10", ServeTable, seq%64)
+	case u < 0.75:
+		category = ServeInsert
+		stmt = fmt.Sprintf("INSERT INTO %s VALUES (%d, 'p%d')", ServeTable, 8+seq, seq)
+	case u < 0.90:
+		category = ServeCount
+		stmt = "SELECT COUNT(*) FROM " + ServeTable
+	default:
+		category = ServeUpdate
+		stmt = fmt.Sprintf("UPDATE %s SET payload = 'u%d' WHERE k = %d", ServeTable, seq, seq%8)
+	}
+	_, err = c.Exec(session, stmt)
+	var de *component.DownError
+	if errors.As(err, &de) {
+		comp = de.Component
+	}
+	return category, comp, err
+}

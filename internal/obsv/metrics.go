@@ -210,6 +210,17 @@ func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, sum float
 // in Linux" lesson that fault data is only useful when schemas are stable.
 var LatencyBuckets = []float64{0.001, 0.01, 0.1, 1, 5, 15, 60, 300, 900, 3600}
 
+// RequestLatencyBuckets are the fixed upper bounds, in seconds, for
+// per-request serving latencies: sub-millisecond cache hits through the
+// multi-second stalls a request rides out while its component reboots.
+// LatencyBuckets starts at 1ms and is tuned for episode durations — request
+// latencies cluster two orders of magnitude lower, so they get their own
+// preset rather than collapsing into LatencyBuckets' first bucket.
+var RequestLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
 // RetryBuckets are the fixed upper bounds for retries-per-recovery counts:
 // the escalation ladder spends at most RungAttempts×4 attempts before the
 // degraded rung, so the top bucket is comfortably above a full ladder walk.

@@ -102,3 +102,59 @@ func TestNilRegistryIsSafe(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRequestLatencyBuckets is the regression test for the serving tier's
+// bucket preset: strictly increasing bounds spanning sub-millisecond hits
+// through multi-second reboot stalls, and representative serve-mode
+// latencies must spread across buckets instead of collapsing into the first
+// bucket the way they would under the episode-scale LatencyBuckets.
+func TestRequestLatencyBuckets(t *testing.T) {
+	if RequestLatencyBuckets[0] >= 0.001 {
+		t.Fatalf("first bound %v is not sub-millisecond", RequestLatencyBuckets[0])
+	}
+	last := RequestLatencyBuckets[len(RequestLatencyBuckets)-1]
+	if last < 1 {
+		t.Fatalf("last bound %v does not reach seconds scale", last)
+	}
+	for i := 1; i < len(RequestLatencyBuckets); i++ {
+		if RequestLatencyBuckets[i] <= RequestLatencyBuckets[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, RequestLatencyBuckets)
+		}
+	}
+	// The serving tier's default service mix: each latency tier must land in
+	// its own bucket so the histogram actually resolves the distribution.
+	h := newHistogram(RequestLatencyBuckets)
+	mix := []time.Duration{
+		300 * time.Microsecond, 900 * time.Microsecond,
+		3 * time.Millisecond, 12 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for _, d := range mix {
+		h.ObserveDuration(d)
+	}
+	_, cum, _, total := h.snapshot()
+	if total != uint64(len(mix)) {
+		t.Fatalf("total = %d, want %d", total, len(mix))
+	}
+	occupied := 0
+	prev := uint64(0)
+	for _, c := range cum {
+		if c > prev {
+			occupied++
+		}
+		prev = c
+	}
+	if occupied < len(mix) {
+		t.Errorf("serve-mode mix occupies %d buckets, want %d distinct", occupied, len(mix))
+	}
+	// Under the episode-scale preset the same mix collapses: the first two
+	// tiers share the 1ms bucket — exactly the resolution loss the request
+	// preset exists to avoid.
+	eh := newHistogram(LatencyBuckets)
+	for _, d := range mix {
+		eh.ObserveDuration(d)
+	}
+	_, ecum, _, _ := eh.snapshot()
+	if ecum[0] < 2 {
+		t.Fatalf("expected episode buckets to collapse sub-ms tiers, got %v", ecum)
+	}
+}

@@ -1,0 +1,147 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// distSumTolerance is how far from 100 the probabilities of a distribution
+// may sum while still parsing — enough to absorb decimal round-off
+// ("33.3%a,33.3%b,33.4%c" is fine, "50%a,30%b" is not).
+const distSumTolerance = 1e-6
+
+// Entry is one segment of a probability-encoded distribution.
+type Entry struct {
+	// Weight is the segment's probability in percent (0 < Weight <= 100).
+	Weight float64
+	// Value is the segment's raw value text.
+	Value string
+}
+
+// Dist is a parsed probability-encoded distribution: an ordered list of
+// weighted values whose weights sum to 100. Sampling is allocation-free and
+// deterministic given the caller's uniform draw.
+type Dist struct {
+	entries []Entry
+	cum     []float64 // cumulative weights; cum[len-1] == sum
+}
+
+// ParseDistribution parses the pingpong-style grammar
+//
+//	<probability>%<value>[,<probability>%<value>...]
+//
+// e.g. "90%10ms,10%100ms" or "50%timeout,30%connection,20%deadlock".
+// Probabilities are decimal percentages; they must each be positive and
+// finite and must sum to 100 (within a round-off tolerance). Values are
+// opaque non-empty strings — use ParseLatencyDist when they are durations.
+func ParseDistribution(s string) (*Dist, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("traffic: empty distribution")
+	}
+	segs := strings.Split(s, ",")
+	d := &Dist{
+		entries: make([]Entry, 0, len(segs)),
+		cum:     make([]float64, 0, len(segs)),
+	}
+	sum := 0.0
+	for i, seg := range segs {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			return nil, fmt.Errorf("traffic: distribution segment %d is empty", i+1)
+		}
+		prob, value, ok := strings.Cut(seg, "%")
+		if !ok {
+			return nil, fmt.Errorf("traffic: segment %q has no %% separator", seg)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(prob), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: segment %q has a bad probability: %v", seg, err)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 || w > 100 {
+			return nil, fmt.Errorf("traffic: segment %q probability %v outside (0, 100]", seg, w)
+		}
+		value = strings.TrimSpace(value)
+		if value == "" {
+			return nil, fmt.Errorf("traffic: segment %q has an empty value", seg)
+		}
+		sum += w
+		d.entries = append(d.entries, Entry{Weight: w, Value: value})
+		d.cum = append(d.cum, sum)
+	}
+	if math.Abs(sum-100) > distSumTolerance {
+		return nil, fmt.Errorf("traffic: probabilities sum to %v, want 100", sum)
+	}
+	return d, nil
+}
+
+// Entries returns the parsed segments in declaration order.
+func (d *Dist) Entries() []Entry { return append([]Entry(nil), d.entries...) }
+
+// Sample maps a uniform draw u in [0, 1) onto a value: the first segment
+// whose cumulative weight covers u*100. Draws at or above 1 clamp to the
+// last segment, so a sloppy caller can never index out of the distribution.
+func (d *Dist) Sample(u float64) string {
+	x := u * d.cum[len(d.cum)-1]
+	for i, c := range d.cum {
+		if x < c {
+			return d.entries[i].Value
+		}
+	}
+	return d.entries[len(d.entries)-1].Value
+}
+
+// LatencyDist is a probability-encoded distribution whose values are
+// durations — the service-latency half of the traffic model.
+type LatencyDist struct {
+	d    *Dist
+	durs []time.Duration
+}
+
+// ParseLatencyDist parses a duration-valued distribution, e.g.
+// "90%10ms,10%100ms". Every value must be a valid non-negative
+// time.ParseDuration string.
+func ParseLatencyDist(s string) (*LatencyDist, error) {
+	d, err := ParseDistribution(s)
+	if err != nil {
+		return nil, err
+	}
+	l := &LatencyDist{d: d, durs: make([]time.Duration, len(d.entries))}
+	for i, e := range d.entries {
+		dur, err := time.ParseDuration(e.Value)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: segment value %q is not a duration: %v", e.Value, err)
+		}
+		if dur < 0 {
+			return nil, fmt.Errorf("traffic: segment value %q is a negative duration", e.Value)
+		}
+		l.durs[i] = dur
+	}
+	return l, nil
+}
+
+// Sample maps a uniform draw u in [0, 1) onto a duration, with the same
+// segment choice Dist.Sample makes.
+func (l *LatencyDist) Sample(u float64) time.Duration {
+	x := u * l.d.cum[len(l.d.cum)-1]
+	for i, c := range l.d.cum {
+		if x < c {
+			return l.durs[i]
+		}
+	}
+	return l.durs[len(l.durs)-1]
+}
+
+// String renders the distribution back in its source grammar.
+func (d *Dist) String() string {
+	var b strings.Builder
+	for i, e := range d.entries {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s%%%s", strconv.FormatFloat(e.Weight, 'f', -1, 64), e.Value)
+	}
+	return b.String()
+}

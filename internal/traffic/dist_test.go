@@ -1,0 +1,179 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDistributionValid(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []Entry
+	}{
+		{
+			name: "pingpong latency pair",
+			in:   "90%10ms,10%100ms",
+			want: []Entry{{90, "10ms"}, {10, "100ms"}},
+		},
+		{
+			name: "single segment",
+			in:   "100%ok",
+			want: []Entry{{100, "ok"}},
+		},
+		{
+			name: "error mix",
+			in:   "50%timeout,30%connection,20%deadlock",
+			want: []Entry{{50, "timeout"}, {30, "connection"}, {20, "deadlock"}},
+		},
+		{
+			name: "fractional weights within tolerance",
+			in:   "33.3%a,33.3%b,33.4%c",
+			want: []Entry{{33.3, "a"}, {33.3, "b"}, {33.4, "c"}},
+		},
+		{
+			name: "whitespace around segments",
+			in:   " 60%fast , 40%slow ",
+			want: []Entry{{60, "fast"}, {40, "slow"}},
+		},
+		{
+			name: "tiny tail segment",
+			in:   "99.999%hit,0.001%miss",
+			want: []Entry{{99.999, "hit"}, {0.001, "miss"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := ParseDistribution(tc.in)
+			if err != nil {
+				t.Fatalf("ParseDistribution(%q): %v", tc.in, err)
+			}
+			got := d.Entries()
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d entries, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("entry %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestParseDistributionInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		frag string // expected error fragment
+	}{
+		{"empty", "", "empty distribution"},
+		{"whitespace only", "   ", "empty distribution"},
+		{"no separator", "90-10ms", "no % separator"},
+		{"empty segment", "50%a,,50%b", "segment 2 is empty"},
+		{"trailing comma", "100%a,", "is empty"},
+		{"bad probability", "abc%10ms", "bad probability"},
+		{"empty probability", "%10ms", "bad probability"},
+		{"zero weight", "0%a,100%b", "outside (0, 100]"},
+		{"negative weight", "-10%a,110%b", "outside (0, 100]"},
+		{"weight above 100", "150%a", "outside (0, 100]"},
+		{"nan weight", "NaN%a", "outside (0, 100]"},
+		{"inf weight", "+Inf%a", "outside (0, 100]"},
+		{"empty value", "100%", "empty value"},
+		{"sum under 100", "50%a,30%b", "sum to 80"},
+		{"sum over 100", "90%a,20%b", "sum to 110"},
+		{"sum off by rounding beyond tolerance", "33%a,33%b,33%c", "want 100"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := ParseDistribution(tc.in)
+			if err == nil {
+				t.Fatalf("ParseDistribution(%q) = %v, want error", tc.in, d)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestDistSampleBoundaries(t *testing.T) {
+	d, err := ParseDistribution("90%fast,10%slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		u    float64
+		want string
+	}{
+		{0, "fast"},
+		{0.5, "fast"},
+		{0.899999, "fast"},
+		{0.9, "slow"}, // boundary lands on the next segment
+		{0.999, "slow"},
+		{1.0, "slow"},  // clamp: u at 1 stays in range
+		{1.5, "slow"},  // clamp: sloppy caller
+		{-0.1, "fast"}, // negative draws map below the first boundary
+	}
+	for _, tc := range cases {
+		if got := d.Sample(tc.u); got != tc.want {
+			t.Errorf("Sample(%v) = %q, want %q", tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestDistSampleProportions(t *testing.T) {
+	d, err := ParseDistribution("70%a,20%b,10%c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A uniform grid of draws lands in segments proportional to weight.
+	const n = 10000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[d.Sample(float64(i)/n)]++
+	}
+	if counts["a"] != 7000 || counts["b"] != 2000 || counts["c"] != 1000 {
+		t.Errorf("grid sampling got %v, want a:7000 b:2000 c:1000", counts)
+	}
+}
+
+func TestParseLatencyDist(t *testing.T) {
+	l, err := ParseLatencyDist("90%10ms,10%100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Sample(0); got != 10*time.Millisecond {
+		t.Errorf("Sample(0) = %v, want 10ms", got)
+	}
+	if got := l.Sample(0.95); got != 100*time.Millisecond {
+		t.Errorf("Sample(0.95) = %v, want 100ms", got)
+	}
+	for _, bad := range []string{
+		"90%10ms,10%fast",  // non-duration value
+		"100%-5ms",         // negative duration
+		"90%10ms,10%100xs", // bad unit
+	} {
+		if _, err := ParseLatencyDist(bad); err == nil {
+			t.Errorf("ParseLatencyDist(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestDistStringRoundTrip(t *testing.T) {
+	for _, in := range []string{"90%10ms,10%100ms", "100%ok", "33.3%a,33.3%b,33.4%c"} {
+		d, err := ParseDistribution(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := d.String()
+		d2, err := ParseDistribution(got)
+		if err != nil {
+			t.Fatalf("re-parse of String() %q: %v", got, err)
+		}
+		if d2.String() != got {
+			t.Errorf("String round-trip unstable: %q -> %q", got, d2.String())
+		}
+	}
+}

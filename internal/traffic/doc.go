@@ -1,0 +1,33 @@
+// Package traffic is the open-loop load-generator behind the serving tier:
+// it turns a seed into a deterministic schedule of simulated-user arrivals on
+// the virtual clock, and scores what each of those users experienced against
+// a service-level objective.
+//
+// The pieces, in the order a SERVE run uses them:
+//
+//   - probability-encoded distributions ("90%10ms,10%100ms") describe service
+//     latency the way pingpong's simulator encodes it: a comma-separated list
+//     of <probability>%<value> segments whose probabilities sum to 100.
+//     ParseDistribution handles the grammar; ParseLatencyDist adds duration
+//     parsing on top.
+//   - arrival processes (Poisson, fixed-rate) turn a mean inter-arrival gap
+//     into a stream of gaps. Open-loop means arrivals do not wait for
+//     completions: when the server stalls mid-recovery the schedule keeps
+//     arriving, which is exactly how real users pile onto an outage.
+//   - Schedule precomputes the whole arrival stream — sequence number, owning
+//     user, arrival time, category draw, sampled service latency — as a pure
+//     function of the seed, so any worker of a sharded sweep reproduces it
+//     byte-for-byte.
+//   - Record is what one request experienced (arrival time, latency, outcome,
+//     the component that refused it); WriteRecords emits the JSONL request
+//     log documented in OBSERVABILITY.md.
+//   - SLO scores a record stream: a request is good when it was served within
+//     the latency threshold, and Burn reports how many multiples of the error
+//     budget the bad ones consumed — the user-visible cost of a recovery
+//     mechanism, which is what the SERVE experiment ranks mechanisms by.
+//
+// Nothing in this package knows about the applications; the serving tier
+// (internal/workload's Server interface, internal/experiment's SERVE sweep)
+// binds schedules to componentized apps. SERVING.md documents the model
+// end-to-end.
+package traffic

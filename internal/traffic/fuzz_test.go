@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseDistribution drives arbitrary strings through the parser and
+// checks the invariants every accepted distribution must hold: at least one
+// entry, every weight in (0, 100], weights summing to 100 within tolerance,
+// no empty values, Sample total on the unit interval, and a String() form
+// that re-parses to the same rendering.
+func FuzzParseDistribution(f *testing.F) {
+	for _, seed := range []string{
+		"90%10ms,10%100ms",
+		"100%ok",
+		"50%timeout,30%connection,20%deadlock",
+		"33.3%a,33.3%b,33.4%c",
+		"99.999%hit,0.001%miss",
+		"",
+		"%",
+		"100%",
+		"0%a,100%b",
+		"50%a,30%b",
+		"NaN%a",
+		"1e2%x",
+		"100%a,",
+		" 60%fast , 40%slow ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDistribution(s)
+		if err != nil {
+			return
+		}
+		entries := d.Entries()
+		if len(entries) == 0 {
+			t.Fatalf("accepted %q with zero entries", s)
+		}
+		sum := 0.0
+		for _, e := range entries {
+			if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight <= 0 || e.Weight > 100 {
+				t.Fatalf("accepted %q with weight %v outside (0, 100]", s, e.Weight)
+			}
+			if e.Value == "" {
+				t.Fatalf("accepted %q with an empty value", s)
+			}
+			sum += e.Weight
+		}
+		if math.Abs(sum-100) > distSumTolerance {
+			t.Fatalf("accepted %q with weight sum %v", s, sum)
+		}
+		// Sampling across the unit interval must always land in the entry set.
+		seen := map[string]bool{}
+		for i := 0; i <= 100; i++ {
+			seen[d.Sample(float64(i)/100)] = true
+		}
+		for v := range seen {
+			ok := false
+			for _, e := range entries {
+				if e.Value == v {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("Sample of %q produced %q, not an entry value", s, v)
+			}
+		}
+		// String must be stable under one re-parse.
+		rendered := d.String()
+		d2, err := ParseDistribution(rendered)
+		if err != nil {
+			t.Fatalf("String() of %q rendered %q which does not re-parse: %v", s, rendered, err)
+		}
+		if d2.String() != rendered {
+			t.Fatalf("String round-trip unstable: %q -> %q", rendered, d2.String())
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Request outcomes, in decreasing order of user happiness. OBSERVABILITY.md
+// documents the vocabulary alongside the request-log schema.
+const (
+	// OutcomeOK is a request served within the SLO latency threshold.
+	OutcomeOK = "ok"
+	// OutcomeSlow is a request served, but over the SLO latency threshold.
+	OutcomeSlow = "slow"
+	// OutcomeRefused is a request that fast-failed with a DownError because
+	// a component on its route was mid-reboot — siblings kept serving.
+	OutcomeRefused = "refused"
+	// OutcomeError is a request that failed against a live process (a fault
+	// fired, or the request hit corrupted state).
+	OutcomeError = "error"
+	// OutcomeLost is a request that arrived while the whole process was down
+	// or the outage was not yet detected — nothing answered at all.
+	OutcomeLost = "lost"
+)
+
+// Record is what one simulated user's request experienced, on the virtual
+// clock. The serving tier emits one per scheduled arrival; the JSONL stream
+// of records is the request log the SERVE experiment's determinism contract
+// is stated over.
+type Record struct {
+	// Seq is the request's schedule position.
+	Seq int `json:"seq"`
+	// User is the simulated user the request belonged to.
+	User int `json:"user"`
+	// At is the scheduled arrival time in virtual nanoseconds.
+	At time.Duration `json:"at_ns"`
+	// Category is the operation-mix category the request mapped to
+	// ("static", "select", ... or "trigger" for a fault-triggering op).
+	Category string `json:"category"`
+	// Latency is the request's observed latency in virtual nanoseconds
+	// (zero for requests nothing answered).
+	Latency time.Duration `json:"latency_ns"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// Component names the down component that refused the request, when
+	// Outcome is "refused".
+	Component string `json:"component,omitempty"`
+	// Err is the failure message for refused/error/lost requests.
+	Err string `json:"error,omitempty"`
+}
+
+// validOutcomes gates ReadRecords the way obsv's trace reader gates spans.
+var validOutcomes = map[string]bool{
+	OutcomeOK:      true,
+	OutcomeSlow:    true,
+	OutcomeRefused: true,
+	OutcomeError:   true,
+	OutcomeLost:    true,
+}
+
+// WriteRecords writes records as JSONL, one record per line, in slice order.
+// The encoding is deterministic: fixed field order, no map iteration.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("traffic: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a JSONL request log, validating each line against the
+// schema: outcomes must be known, sequence numbers non-negative, and refused
+// records must name their component.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("traffic: request log line %d: %w", line, err)
+		}
+		if !validOutcomes[rec.Outcome] {
+			return nil, fmt.Errorf("traffic: request log line %d: unknown outcome %q", line, rec.Outcome)
+		}
+		if rec.Seq < 0 {
+			return nil, fmt.Errorf("traffic: request log line %d: negative seq %d", line, rec.Seq)
+		}
+		if rec.Outcome == OutcomeRefused && rec.Component == "" {
+			return nil, fmt.Errorf("traffic: request log line %d: refused record names no component", line)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: request log: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"faultstudy/internal/apps/httpd"
+	"faultstudy/internal/apps/sqldb"
+)
+
+// Server is what the serving tier asks of an application: a name, a warmup
+// to steady state, and the ability to serve one open-loop arrival at a
+// time. The contract deliberately uses only basic types — the arrival's
+// schedule position, its simulated user, and its uniform category draw — so
+// app packages can implement it without importing the traffic model, and
+// the traffic model can drive apps without importing them.
+//
+// ServeArrival's contract: category names the operation-mix bucket the draw
+// mapped to; component names the down component when the request was
+// refused mid-reboot (empty otherwise); err is the serve error, which
+// callers classify with faultinject.AsFailure into fault-induced failures
+// versus refusals. Implementations must be deterministic functions of
+// (seq, user, u) and current server state.
+type Server interface {
+	// Name identifies the application ("httpd", "sqldb").
+	Name() string
+	// ServeWarm brings the application to serving steady state.
+	ServeWarm() error
+	// ServeArrival serves one scheduled arrival.
+	ServeArrival(seq, user int, u float64) (category, component string, err error)
+}
+
+// The componentized applications are the serving tier's drivers; keep them
+// honest at compile time.
+var (
+	_ Server = (*httpd.Componentized)(nil)
+	_ Server = (*sqldb.Componentized)(nil)
+)
