@@ -22,6 +22,9 @@
 //	recoverylab -serve                          # live-fire serving: open-loop traffic × the recovery ladder
 //	recoverylab -serve -users 2000 -arrive fixed:1ms  # bigger user pool, deterministic arrivals
 //	recoverylab -serve -reqlog serve_requests.jsonl   # write the per-request log
+//	recoverylab -corpus                         # generated corpus: 5000 faults + 500 episodes through the ladder
+//	recoverylab -corpus -spec "faults=200;episodes=20"  # a smaller generated population
+//	recoverylab -corpus -corpusout corpus.jsonl # also write the generated population as JSONL
 //
 // -resil exits non-zero unless the sweep's headline holds: under the full
 // client policy, transient (EDT) chaos survival is at least 90% and
@@ -43,6 +46,14 @@
 // simulated user pool, -arrive picks the arrival process, and -reqlog
 // writes the per-request JSONL log.
 //
+// -corpus exits non-zero unless the generated population passes every gate:
+// each sampler fits its declared distribution (chi-squared, alpha 0.001),
+// the classifier recovers the sampled fault classes, per-class recovery
+// rates stay within the drift band of the mechanism-matched curated
+// baseline, and the synthetic PR site reaches its page floor and crawls
+// without gaps. -spec overrides the corpus specification (CORPUSGEN
+// grammar); -corpusout writes the sampled population as JSONL.
+//
 // The telemetry flags (-metrics, -trace, -prom, -timeline) attach the
 // observability layer (internal/obsv) to whichever experiment runs; see
 // OBSERVABILITY.md for the metric catalogue and the trace schema.
@@ -61,6 +72,7 @@ import (
 	"path/filepath"
 
 	"faultstudy"
+	"faultstudy/internal/corpusgen"
 	"faultstudy/internal/experiment"
 	"faultstudy/internal/obsv"
 	"faultstudy/internal/recovery"
@@ -105,6 +117,9 @@ func run() error {
 		users      = flag.Int("users", 0, "simulated user pool per arm (with -serve; 0 = default 1200)")
 		arrive     = flag.String("arrive", "", "arrival process spec, poisson:<gap> or fixed:<gap> (with -serve; default poisson:1ms)")
 		reqLog     = flag.String("reqlog", "", "write the per-request log to this file as JSONL (with -serve)")
+		corpusRun  = flag.Bool("corpus", false, "run the CORPUS experiment: a generated fault population through classification and the supervised ladder")
+		spec       = flag.String("spec", "", "corpus specification (with -corpus; empty = published-distribution defaults)")
+		corpusOut  = flag.String("corpusout", "", "write the generated population to this file as JSONL (with -corpus)")
 	)
 	flag.Parse()
 
@@ -138,6 +153,22 @@ func run() error {
 	var gate error
 
 	switch {
+	case *corpusRun:
+		rep, err := experiment.RunCorpus(experiment.CorpusConfig{
+			Seed: *seed, Spec: *spec,
+			Supervise: faultstudy.SupervisorConfig{GrowResources: *grow},
+			Telemetry: tel, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		if *corpusOut != "" {
+			if err := writeCorpus(*spec, *seed, *workers, *corpusOut); err != nil {
+				return err
+			}
+		}
+		gate = rep.Check()
 	case *serve:
 		rep, err := experiment.RunServe(experiment.ServeConfig{
 			Seed: *seed, Users: *users, Arrival: *arrive,
@@ -323,6 +354,29 @@ func emitTelemetry(tel *experiment.Telemetry, metrics, timeline bool, traceOut, 
 		}
 		fmt.Printf("wrote metrics to %s\n", promOut)
 	}
+	return nil
+}
+
+// writeCorpus re-samples the generated population deterministically and
+// writes it as JSONL: one line per fault, then one per episode.
+func writeCorpus(specText string, seed int64, workers int, path string) error {
+	parsed, err := corpusgen.ParseCorpusSpec(specText)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	c := corpusgen.New(parsed, seed)
+	if err := c.WriteJSONL(f, workers); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d faults and %d episodes to %s\n", parsed.Faults, parsed.Episodes, path)
 	return nil
 }
 

@@ -1,0 +1,96 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"faultstudy/internal/component"
+)
+
+// Serving-tier category names for the cache operation mix, re-expressed as
+// cumulative thresholds over a uniform draw so the open-loop schedule can
+// carry the operation choice as a single float.
+const (
+	ServeGetHit  = "get-hit"
+	ServeGetMiss = "get-miss"
+	ServeSet     = "set"
+	ServeDel     = "del"
+	ServeStats   = "stats"
+)
+
+// ServeWarm brings the daemon to steady state before traffic by priming a
+// small working set, so the hit path dominates the open-loop mix the way it
+// does on a warmed production cache.
+func (c *Componentized) ServeWarm() error {
+	for i := 0; i < 8; i++ {
+		if err := c.srv.Set(fmt.Sprintf("warm%d", i), "v"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeArrival serves one open-loop arrival: u in [0, 1) picks the operation
+// from a read-heavy 60/15/15/5/5 cache mix, seq individualizes keys, and
+// user names the session whose externalized hot-key counter the operation
+// advances. It returns the category served, the name of the down component
+// when the operation was refused mid-reboot, and the serve error.
+func (c *Componentized) ServeArrival(seq, user int, u float64) (category, comp string, err error) {
+	var do func() error
+	switch {
+	case u < 0.60:
+		category = ServeGetHit
+		do = func() error {
+			_, err := c.srv.Get(fmt.Sprintf("warm%d", seq%8))
+			return err
+		}
+	case u < 0.75:
+		category = ServeGetMiss
+		do = func() error {
+			_, err := c.srv.Get(fmt.Sprintf("cold%d", seq))
+			return err
+		}
+	case u < 0.90:
+		category = ServeSet
+		do = func() error { return c.srv.Set(fmt.Sprintf("hot%d", seq%16), "v") }
+	case u < 0.95:
+		category = ServeDel
+		do = func() error { return c.srv.Del(fmt.Sprintf("hot%d", seq%16)) }
+	default:
+		category = ServeStats
+		do = func() error {
+			_, err := c.srv.Stats()
+			return err
+		}
+	}
+	for _, name := range routeOf(category) {
+		if !c.tree.Running(name) {
+			return category, name, component.Down(name)
+		}
+	}
+	err = do()
+	if err == nil {
+		c.store.Incr(HotKeyBucket, fmt.Sprintf("u%05d", user))
+	}
+	var de *component.DownError
+	if errors.As(err, &de) {
+		comp = de.Component
+	}
+	return category, comp, err
+}
+
+// routeOf lists the components an operation routes through. The persist
+// component is deliberately absent: a down persist degrades to unpersisted
+// serving instead of failing the operation.
+func routeOf(category string) []string {
+	route := []string{CompListener, CompCore}
+	if category == ServeGetMiss {
+		// Miss fills consult the replication peer through the listener; the
+		// sweeper owns the expiry bookkeeping the delete path touches.
+		route = append(route, CompSweeper)
+	}
+	if category == ServeDel {
+		route = append(route, CompSweeper)
+	}
+	return route
+}

@@ -1,0 +1,80 @@
+package corpusgen
+
+import (
+	"testing"
+)
+
+// FuzzParseCorpusSpec drives arbitrary strings through the corpus-spec
+// parser and checks the invariants every accepted spec must hold: bounded
+// population sizes, every distribution non-nil with vocabulary-checked
+// values, every span positive-parseable, and a canonical String() form that
+// re-parses to a byte-identical fixed point. Sampling a fault and an episode
+// from every accepted spec proves acceptance implies generability.
+func FuzzParseCorpusSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"faults=5000;episodes=500",
+		"faults=12;episodes=3;class=50%ei,50%edt",
+		"class=81.3%ei,10.1%edn,8.6%edt;app=30%httpd,25%sqldb,25%cache,20%desktop",
+		"defect=36%memory,25%logic,15%interface,13%concurrency,11%resource",
+		"lifetime=25%30d,30%180d,25%2y,15%4y,5%6y",
+		"overlap=60%concurrent,40%cascade;gap=50%10s,30%2m,20%30m",
+		"faults=0",
+		"faults=;episodes=",
+		"class=100%unknown",
+		"lifetime=100%never",
+		"gap=100%-5s",
+		"bogus=1",
+		"faults=5;faults=6",
+		" faults = 7 ; episodes = 2 ",
+		"faults=5;;",
+		"=x",
+		"class=50%ei,50%ei",
+		"lifetime=100%1e309y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseCorpusSpec(s)
+		if err != nil {
+			return
+		}
+		if spec.Faults < 1 || spec.Faults > maxFaults {
+			t.Fatalf("accepted %q with faults %d", s, spec.Faults)
+		}
+		if spec.Episodes < 0 || spec.Episodes > maxEpisodes {
+			t.Fatalf("accepted %q with episodes %d", s, spec.Episodes)
+		}
+		for _, e := range spec.Lifetime.Entries() {
+			if d, err := parseSpan(e.Value); err != nil || d < 0 {
+				t.Fatalf("accepted %q with lifetime span %q: %v", s, e.Value, err)
+			}
+		}
+		for _, e := range spec.Gap.Entries() {
+			if d, err := parseSpan(e.Value); err != nil || d < 0 {
+				t.Fatalf("accepted %q with gap span %q: %v", s, e.Value, err)
+			}
+		}
+		canon := spec.String()
+		again, err := ParseCorpusSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted %q does not reparse: %v", canon, s, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("String() not a fixed point: %q -> %q", canon, again.String())
+		}
+		// Acceptance implies generability: one fault and (when asked for)
+		// one episode must sample without panicking.
+		c := New(spec, 1)
+		f0 := c.FaultAt(0)
+		if f0.Mechanism == "" || f0.Class != f0.Trigger.DefaultClass() {
+			t.Fatalf("spec %q generated inconsistent fault %+v", s, f0)
+		}
+		if spec.Episodes > 0 {
+			e0 := c.EpisodeAt(0)
+			if e0.Secondary == "" || e0.Secondary == e0.PrimaryMechanism {
+				t.Fatalf("spec %q generated inconsistent episode %+v", s, e0)
+			}
+		}
+	})
+}

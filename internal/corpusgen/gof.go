@@ -1,0 +1,172 @@
+package corpusgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"faultstudy/internal/traffic"
+)
+
+// Statistical validation of the samplers: Pearson chi-squared goodness of
+// fit of each sampled dimension's observed frequencies against the spec's
+// declared distribution. The significance level is fixed at alpha = 0.001 —
+// tight enough that a correctly seeded sampler essentially never trips it,
+// loose enough that a real sampler bug (a skipped draw, a biased pool, a
+// reused seed) blows through it immediately.
+
+// gofZ is the 0.999 standard-normal quantile.
+const gofZ = 3.090232
+
+// GOFBucket is one value's observed-versus-expected cell.
+type GOFBucket struct {
+	// Value is the distribution value (class key, app name, span text, ...).
+	Value string
+	// Observed is the sampled count.
+	Observed int
+	// Expected is the spec-implied count (weight% of N).
+	Expected float64
+}
+
+// GOFResult is one dimension's chi-squared goodness-of-fit test.
+type GOFResult struct {
+	// Dimension names the sampled dimension (class, app, defect, lifetime,
+	// overlap, gap).
+	Dimension string
+	// N is the sample size.
+	N int
+	// ChiSquare is the Pearson statistic over the spec's buckets.
+	ChiSquare float64
+	// DOF is the degrees of freedom (buckets - 1).
+	DOF int
+	// Critical is the alpha = 0.001 critical value for DOF.
+	Critical float64
+	// Buckets holds every cell, in the spec's declaration order.
+	Buckets []GOFBucket
+}
+
+// Pass reports whether the observed frequencies are consistent with the
+// spec's distribution at alpha = 0.001. Dimensions with a single bucket
+// trivially pass, as does an empty sample.
+func (g GOFResult) Pass() bool {
+	if g.N == 0 || g.DOF <= 0 {
+		return true
+	}
+	return g.ChiSquare <= g.Critical
+}
+
+// String renders the test with every observed-versus-expected cell, so a
+// failure message shows exactly which bucket drifted.
+func (g GOFResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d chi2=%.3f dof=%d crit=%.3f", g.Dimension, g.N, g.ChiSquare, g.DOF, g.Critical)
+	if g.Pass() {
+		b.WriteString(" pass")
+	} else {
+		b.WriteString(" FAIL")
+	}
+	for _, bk := range g.Buckets {
+		fmt.Fprintf(&b, " [%s obs=%d exp=%.1f]", bk.Value, bk.Observed, bk.Expected)
+	}
+	return b.String()
+}
+
+// chiCrit001 holds the exact upper alpha = 0.001 chi-squared critical
+// values for small degrees of freedom, where the Wilson–Hilferty cube is a
+// few percent off; larger dof fall back to the approximation, which is
+// within a fraction of a percent there.
+var chiCrit001 = []float64{
+	0, 10.828, 13.816, 16.266, 18.467, 20.515,
+	22.458, 24.322, 26.125, 27.877, 29.588,
+}
+
+// ChiSquareCritical returns the upper alpha = 0.001 critical value of the
+// chi-squared distribution with dof degrees of freedom: exact table values
+// for dof <= 10, the Wilson–Hilferty cube approximation beyond.
+func ChiSquareCritical(dof int) float64 {
+	if dof <= 0 {
+		return 0
+	}
+	if dof < len(chiCrit001) {
+		return chiCrit001[dof]
+	}
+	k := float64(dof)
+	t := 1 - 2/(9*k) + gofZ*math.Sqrt(2/(9*k))
+	return k * t * t * t
+}
+
+// FitDist tests observed samples against a declared distribution. Duplicate
+// values in the distribution are merged (their weights summed); an observed
+// value absent from the distribution makes the statistic infinite, because a
+// sampler can only legally emit declared values.
+func FitDist(dimension string, dist *traffic.Dist, observed []string) GOFResult {
+	var order []string
+	weight := make(map[string]float64)
+	for _, e := range dist.Entries() {
+		if _, seen := weight[e.Value]; !seen {
+			order = append(order, e.Value)
+		}
+		weight[e.Value] += e.Weight
+	}
+	counts := make(map[string]int, len(order))
+	foreign := 0
+	for _, v := range observed {
+		if _, ok := weight[v]; !ok {
+			foreign++
+			continue
+		}
+		counts[v]++
+	}
+	n := len(observed)
+	g := GOFResult{Dimension: dimension, N: n, DOF: len(order) - 1, Critical: ChiSquareCritical(len(order) - 1)}
+	for _, v := range order {
+		exp := weight[v] / 100 * float64(n)
+		obs := counts[v]
+		g.Buckets = append(g.Buckets, GOFBucket{Value: v, Observed: obs, Expected: exp})
+		if exp > 0 {
+			d := float64(obs) - exp
+			g.ChiSquare += d * d / exp
+		} else if obs > 0 {
+			g.ChiSquare = math.Inf(1)
+		}
+	}
+	if foreign > 0 {
+		g.ChiSquare = math.Inf(1)
+		g.Buckets = append(g.Buckets, GOFBucket{Value: "<undeclared>", Observed: foreign})
+	}
+	return g
+}
+
+// GoodnessOfFit tests every sampled dimension of a generated population:
+// class, app, defect, and lifetime over the faults; overlap and gap over the
+// episodes (skipped when there are none).
+func (c *Corpus) GoodnessOfFit(faults []*GenFault, episodes []*Episode) []GOFResult {
+	classes := make([]string, len(faults))
+	apps := make([]string, len(faults))
+	defects := make([]string, len(faults))
+	lifetimes := make([]string, len(faults))
+	for i, f := range faults {
+		classes[i] = classKeys[f.Class]
+		apps[i] = f.AppName
+		defects[i] = f.Defect
+		lifetimes[i] = f.LifetimeText
+	}
+	out := []GOFResult{
+		FitDist("class", c.spec.Class, classes),
+		FitDist("app", c.spec.App, apps),
+		FitDist("defect", c.spec.Defect, defects),
+		FitDist("lifetime", c.spec.Lifetime, lifetimes),
+	}
+	if len(episodes) > 0 {
+		overlaps := make([]string, len(episodes))
+		gaps := make([]string, len(episodes))
+		for j, e := range episodes {
+			overlaps[j] = e.Overlap
+			gaps[j] = e.GapText
+		}
+		out = append(out,
+			FitDist("overlap", c.spec.Overlap, overlaps),
+			FitDist("gap", c.spec.Gap, gaps))
+	}
+	return out
+}

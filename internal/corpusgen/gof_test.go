@@ -1,0 +1,141 @@
+package corpusgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"faultstudy/internal/traffic"
+)
+
+func mustTestDist(t *testing.T, s string) *traffic.Dist {
+	t.Helper()
+	d, err := traffic.ParseDistribution(s)
+	if err != nil {
+		t.Fatalf("dist %q: %v", s, err)
+	}
+	return d
+}
+
+// TestChiSquareCritical pins the Wilson–Hilferty approximation against
+// published alpha = 0.001 chi-squared table values.
+func TestChiSquareCritical(t *testing.T) {
+	cases := []struct {
+		dof  int
+		want float64
+	}{
+		{1, 10.828}, {2, 13.816}, {3, 16.266}, {4, 18.467}, {7, 24.322},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical(c.dof)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("crit(%d) = %.3f, want ~%.3f", c.dof, got, c.want)
+		}
+	}
+	if got := ChiSquareCritical(0); got != 0 {
+		t.Errorf("crit(0) = %v, want 0", got)
+	}
+}
+
+// TestFitDistTable drives FitDist through matched, biased, merged-value, and
+// foreign-value samples.
+func TestFitDistTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		dist     string
+		observed []string
+		wantPass bool
+	}{
+		{"exact", "50%a,50%b", append(repeat("a", 500), repeat("b", 500)...), true},
+		{"close", "50%a,50%b", append(repeat("a", 520), repeat("b", 480)...), true},
+		{"biased", "50%a,50%b", append(repeat("a", 900), repeat("b", 100)...), false},
+		{"missing-bucket", "60%a,30%b,10%c", append(repeat("a", 700), repeat("b", 300)...), false},
+		{"merged-dup-values", "30%a,20%a,50%b", append(repeat("a", 500), repeat("b", 500)...), true},
+		{"foreign-value", "50%a,50%b", append(repeat("a", 5), "z"), false},
+		{"single-bucket", "100%a", repeat("a", 10), true},
+		{"empty-sample", "50%a,50%b", nil, true},
+	}
+	for _, c := range cases {
+		g := FitDist(c.name, mustTestDist(t, c.dist), c.observed)
+		if g.Pass() != c.wantPass {
+			t.Errorf("%s: pass=%v want %v\n%s", c.name, g.Pass(), c.wantPass, g.String())
+		}
+	}
+}
+
+// TestGOFFailureMessagePrintsCells ensures a failing test's rendering shows
+// observed versus expected for every bucket — the satellite's debuggability
+// requirement.
+func TestGOFFailureMessagePrintsCells(t *testing.T) {
+	g := FitDist("class", mustTestDist(t, "50%ei,50%edt"), repeat("ei", 100))
+	if g.Pass() {
+		t.Fatal("biased sample should fail")
+	}
+	s := g.String()
+	for _, want := range []string{"FAIL", "ei obs=100 exp=50.0", "edt obs=0 exp=50.0", "chi2="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("failure message %q missing %q", s, want)
+		}
+	}
+}
+
+// TestSamplerGoodnessOfFit is the satellite's core claim: every sampler's
+// observed frequencies fit its spec'd distribution at alpha = 0.001, across
+// several seeds, for faults and episodes alike.
+func TestSamplerGoodnessOfFit(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234, 99991} {
+		c := testCorpus(t, "faults=3000;episodes=400", seed)
+		faults, err := c.Faults(0)
+		if err != nil {
+			t.Fatalf("seed %d: faults: %v", seed, err)
+		}
+		episodes, err := c.Episodes(0)
+		if err != nil {
+			t.Fatalf("seed %d: episodes: %v", seed, err)
+		}
+		results := c.GoodnessOfFit(faults, episodes)
+		if len(results) != 6 {
+			t.Fatalf("seed %d: %d dimensions, want 6", seed, len(results))
+		}
+		for _, g := range results {
+			if !g.Pass() {
+				t.Errorf("seed %d: %s", seed, g.String())
+			}
+		}
+	}
+}
+
+// TestGoodnessOfFitCatchesBias feeds a deliberately corrupted population:
+// overwriting every class with EI must blow the class dimension while
+// leaving app/defect dimensions alone.
+func TestGoodnessOfFitCatchesBias(t *testing.T) {
+	c := testCorpus(t, "faults=2000", 5)
+	faults, err := c.Faults(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faults {
+		f.Class = classValues["ei"]
+	}
+	results := c.GoodnessOfFit(faults, nil)
+	byDim := map[string]GOFResult{}
+	for _, g := range results {
+		byDim[g.Dimension] = g
+	}
+	if byDim["class"].Pass() {
+		t.Errorf("class dimension should fail on corrupted sample:\n%s", byDim["class"].String())
+	}
+	for _, dim := range []string{"app", "defect", "lifetime"} {
+		if !byDim[dim].Pass() {
+			t.Errorf("%s dimension should still pass:\n%s", dim, byDim[dim].String())
+		}
+	}
+}
+
+func repeat(v string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

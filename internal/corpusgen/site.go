@@ -1,0 +1,154 @@
+package corpusgen
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"faultstudy/internal/parallel"
+)
+
+// Site serves the generated population as a synthetic GNATS-style PR site:
+// a root page linking chunked index pages, each linking individual PR pages.
+// Each fault renders as one canonical PR plus zero to three duplicate PRs
+// (drawn from the corpus's seed stream), so a 50k-fault population yields
+// well over 100k crawlable PR pages.
+//
+// Pages are rendered lazily — a page body is a pure function of its URL and
+// the corpus — so the site's memory footprint is the duplicate-count prefix
+// sums alone, regardless of population size.
+type Site struct {
+	c       *Corpus
+	perPage int
+	// cum[i] is the number of PR pages owned by faults [0, i); cum[n] is the
+	// total. PR number p belongs to the fault whose [cum[i], cum[i+1]) range
+	// covers it, ordinal p-cum[i] (0 is canonical, >0 duplicates).
+	cum []int
+}
+
+// sitePerPage is how many PR links one index page carries.
+const sitePerPage = 500
+
+// maxDupPages bounds the per-fault duplicate draw (0..3).
+const maxDupPages = 4
+
+// dupCount draws fault i's duplicate-page count from the site segment of
+// the corpus seed stream (disjoint from the fault and episode streams).
+func (c *Corpus) dupCount(i int) int {
+	h := parallel.Derive(c.seed, uint64(c.spec.Faults+c.spec.Episodes)+uint64(i))
+	return int(uint64(h) % maxDupPages)
+}
+
+// NewSite materializes the site's only state: the duplicate-count prefix
+// sums over the population.
+func NewSite(c *Corpus) *Site {
+	n := c.spec.Faults
+	cum := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + 1 + c.dupCount(i)
+	}
+	return &Site{c: c, perPage: sitePerPage, cum: cum}
+}
+
+// PRPages is the number of PR pages (canonical plus duplicates).
+func (s *Site) PRPages() int { return s.cum[len(s.cum)-1] }
+
+// IndexPages is the number of chunked index pages.
+func (s *Site) IndexPages() int { return (s.PRPages() + s.perPage - 1) / s.perPage }
+
+// PageCount is every crawlable page: the root, the indexes, and the PRs.
+func (s *Site) PageCount() int { return 1 + s.IndexPages() + s.PRPages() }
+
+// ServeHTTP renders the page for one URL. Unknown paths 404.
+func (s *Site) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch {
+	case path == "/gen":
+		s.serveRoot(w)
+	case strings.HasPrefix(path, "/gen/index/"):
+		k, err := strconv.Atoi(strings.TrimPrefix(path, "/gen/index/"))
+		if err != nil || k < 0 || k >= s.IndexPages() {
+			http.NotFound(w, r)
+			return
+		}
+		s.serveIndex(w, k)
+	case strings.HasPrefix(path, "/gen/pr/"):
+		n, err := strconv.Atoi(strings.TrimPrefix(path, "/gen/pr/"))
+		if err != nil || n < 0 || n >= s.PRPages() {
+			http.NotFound(w, r)
+			return
+		}
+		s.servePR(w, n)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveRoot lists every index chunk.
+func (s *Site) serveRoot(w http.ResponseWriter) {
+	var b strings.Builder
+	b.WriteString("<html><body><h1>Generated fault PR database</h1>\n<ul>\n")
+	for k := 0; k < s.IndexPages(); k++ {
+		fmt.Fprintf(&b, "<li><a href=\"/gen/index/%d\">PRs %d&ndash;%d</a></li>\n",
+			k, k*s.perPage, min(s.PRPages(), (k+1)*s.perPage)-1)
+	}
+	b.WriteString("</ul></body></html>\n")
+	writePage(w, b.String())
+}
+
+// serveIndex lists one chunk of PR links, plus the next chunk for crawlers
+// that land mid-index.
+func (s *Site) serveIndex(w http.ResponseWriter, k int) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h2>PR index %d</h2>\n<ul>\n", k)
+	for n := k * s.perPage; n < min(s.PRPages(), (k+1)*s.perPage); n++ {
+		fmt.Fprintf(&b, "<li><a href=\"/gen/pr/%d\">PR %d</a></li>\n", n, n)
+	}
+	b.WriteString("</ul>\n")
+	if k+1 < s.IndexPages() {
+		fmt.Fprintf(&b, "<a href=\"/gen/index/%d\">next page</a>\n", k+1)
+	}
+	b.WriteString("</body></html>\n")
+	writePage(w, b.String())
+}
+
+// servePR renders one PR page: the canonical GNATS-style report for ordinal
+// 0, a duplicate report pointing at the canonical PR otherwise.
+func (s *Site) servePR(w http.ResponseWriter, n int) {
+	// The owning fault is the last i with cum[i] <= n.
+	i := sort.SearchInts(s.cum, n+1) - 1
+	ordinal := n - s.cum[i]
+	f := s.c.FaultAt(i)
+	var b strings.Builder
+	b.WriteString("<html><body><pre>\n")
+	if ordinal == 0 {
+		fmt.Fprintf(&b, ">Number:         %d\n", n)
+		fmt.Fprintf(&b, ">Category:       %s\n", f.AppName)
+		fmt.Fprintf(&b, ">Synopsis:       %s\n", f.synopsis())
+		fmt.Fprintf(&b, ">Severity:       %s\n", f.Severity)
+		fmt.Fprintf(&b, ">Arrival-Date:   %s\n", filedDate(f.Index).Format("Mon Jan 2 15:04:05 2006"))
+		fmt.Fprintf(&b, ">Description:\n%s\n", f.description())
+		fmt.Fprintf(&b, ">How-To-Repeat:\n%s\n", f.howToRepeat())
+	} else {
+		canonical := s.cum[i]
+		fmt.Fprintf(&b, ">Number:         %d\n", n)
+		fmt.Fprintf(&b, ">Category:       %s\n", f.AppName)
+		fmt.Fprintf(&b, ">Synopsis:       duplicate report: %s\n", f.synopsis())
+		fmt.Fprintf(&b, ">Severity:       %s\n", f.Severity)
+		fmt.Fprintf(&b, ">Description:\nSame failure as PR %d; closing as duplicate.\n", canonical)
+	}
+	b.WriteString("</pre>\n")
+	if ordinal > 0 {
+		fmt.Fprintf(&b, "<a href=\"/gen/pr/%d\">canonical PR</a>\n", s.cum[i])
+	}
+	b.WriteString("</body></html>\n")
+	writePage(w, b.String())
+}
+
+// writePage writes one HTML page.
+func writePage(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(body))
+}

@@ -1,0 +1,292 @@
+// Package corpusgen is the generative fault corpus: it samples synthetic
+// fault populations — and multi-fault episodes — from published defect
+// distributions, at population sizes the hand-curated 139-fault corpus
+// cannot reach.
+//
+// The curated corpus (internal/corpus) transcribes the study's faults one by
+// one; this package instead treats the published distributions as the ground
+// truth and draws from them. Class shares follow the study's aggregate
+// (81.3% EI / 10.1% EDN / 8.6% EDT over the 139); defect-type and lifetime
+// shapes follow the "Faults in Linux 2.6" rates (memory-safety defects
+// dominate, most fixed bugs lived months to years); two-fault episodes
+// follow bug-repository co-occurrence studies (most co-occurring faults
+// overlap in time, a substantial minority cascade one after the other).
+//
+// Everything is a pure function of (spec, seed, index) through the SplitMix64
+// derived-seed discipline, so populations are byte-identical at any worker
+// count and any sampling order. Generated faults name real seeded-bug
+// mechanisms (internal/faultinject registry keys), so every sampled fault is
+// runnable through the recovery experiments; they also render as normalized
+// bug reports the classifier can grade, and as a synthetic GNATS-style PR
+// site (Site) large enough to exercise the crawler at scale.
+package corpusgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"faultstudy/internal/taxonomy"
+	"faultstudy/internal/traffic"
+)
+
+// Published-distribution defaults. Every distribution uses the traffic
+// package's probability-encoded grammar ("<prob>%<value>,..."), so corpus
+// specs read like the traffic specs they sit next to.
+const (
+	// DefaultFaults sizes the default population.
+	DefaultFaults = 5000
+	// DefaultEpisodes is the default number of two-fault episodes.
+	DefaultEpisodes = 500
+	// DefaultClassDist is the study's aggregate class share over the 139
+	// curated faults: 113 EI, 14 EDN, 12 EDT.
+	DefaultClassDist = "81.3%ei,10.1%edn,8.6%edt"
+	// DefaultAppDist spreads the population over the four simulated
+	// applications, weighting the daemons the recovery experiments focus on.
+	DefaultAppDist = "30%httpd,25%sqldb,25%cache,20%desktop"
+	// DefaultDefectDist follows the "Faults in Linux 2.6" defect-type rates:
+	// memory-safety defects dominate, then logic, interface, concurrency,
+	// and resource-handling defects.
+	DefaultDefectDist = "36%memory,25%logic,15%interface,13%concurrency,11%resource"
+	// DefaultLifetimeDist follows the same study's bug-lifetime shape: the
+	// average fixed bug lived well over a year, with a long tail of
+	// multi-year residents.
+	DefaultLifetimeDist = "25%30d,30%180d,25%2y,15%4y,5%6y"
+	// DefaultOverlapDist is the co-occurrence model for two-fault episodes:
+	// most co-occurring faults are active concurrently, the rest cascade —
+	// the second fault strikes while recovering from the first.
+	DefaultOverlapDist = "60%concurrent,40%cascade"
+	// DefaultGapDist is the inter-fault gap distribution for cascade
+	// episodes.
+	DefaultGapDist = "50%10s,30%2m,20%30m"
+)
+
+// Population bounds: generous for experiments, tight enough that a parsed
+// spec can never ask a generator loop for pathological work.
+const (
+	maxFaults   = 5_000_000
+	maxEpisodes = 1_000_000
+)
+
+// maxSpanYears bounds a lifetime/gap span; bug lifetimes beyond two
+// centuries are spec typos, not data.
+const maxSpanYears = 200
+
+// Spec is a parsed corpus specification: population sizes plus the sampled
+// distributions. Build one with ParseCorpusSpec; the zero value is not
+// usable.
+type Spec struct {
+	// Faults is the population size.
+	Faults int
+	// Episodes is the number of two-fault episodes layered over the
+	// population.
+	Episodes int
+	// Class is the fault-class distribution (values ei, edn, edt).
+	Class *traffic.Dist
+	// App is the application distribution (values httpd, sqldb, desktop,
+	// cache — the seeded-bug namespaces).
+	App *traffic.Dist
+	// Defect is the defect-type distribution (values memory, logic,
+	// interface, concurrency, resource).
+	Defect *traffic.Dist
+	// Lifetime is the bug-lifetime distribution; values are spans
+	// (time.ParseDuration strings, plus d/w/y day/week/year suffixes).
+	Lifetime *traffic.Dist
+	// Overlap is the episode co-occurrence distribution (values concurrent,
+	// cascade).
+	Overlap *traffic.Dist
+	// Gap is the cascade inter-fault gap distribution; values are spans.
+	Gap *traffic.Dist
+}
+
+// classValues maps spec class keys to taxonomy classes.
+var classValues = map[string]taxonomy.FaultClass{
+	"ei":  taxonomy.ClassEnvIndependent,
+	"edn": taxonomy.ClassEnvDependentNonTransient,
+	"edt": taxonomy.ClassEnvDependentTransient,
+}
+
+// classKeys is the reverse of classValues.
+var classKeys = map[taxonomy.FaultClass]string{
+	taxonomy.ClassEnvIndependent:           "ei",
+	taxonomy.ClassEnvDependentNonTransient: "edn",
+	taxonomy.ClassEnvDependentTransient:    "edt",
+}
+
+// appValues maps spec app keys (the mechanism namespaces) to applications.
+var appValues = map[string]taxonomy.Application{
+	"httpd":   taxonomy.AppApache,
+	"sqldb":   taxonomy.AppMySQL,
+	"desktop": taxonomy.AppGnome,
+	"cache":   taxonomy.AppCache,
+}
+
+// defectValues is the defect-type vocabulary.
+var defectValues = map[string]bool{
+	"memory": true, "logic": true, "interface": true,
+	"concurrency": true, "resource": true,
+}
+
+// overlapValues is the episode co-occurrence vocabulary.
+var overlapValues = map[string]bool{"concurrent": true, "cascade": true}
+
+// parseSpan parses a lifetime/gap span: any time.ParseDuration string, plus
+// whole-number day ("30d"), week ("2w"), and year ("2y") suffixes the
+// duration grammar lacks but bug lifetimes need.
+func parseSpan(s string) (time.Duration, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("corpusgen: span %q is negative", s)
+		}
+		return d, nil
+	}
+	if len(s) < 2 {
+		return 0, fmt.Errorf("corpusgen: span %q is not a duration", s)
+	}
+	var unit time.Duration
+	switch s[len(s)-1] {
+	case 'd':
+		unit = 24 * time.Hour
+	case 'w':
+		unit = 7 * 24 * time.Hour
+	case 'y':
+		unit = 365 * 24 * time.Hour
+	default:
+		return 0, fmt.Errorf("corpusgen: span %q is not a duration", s)
+	}
+	n, err := strconv.ParseFloat(s[:len(s)-1], 64)
+	if err != nil || math.IsNaN(n) || n < 0 ||
+		n*float64(unit) > float64(maxSpanYears*365*24*time.Hour) {
+		return 0, fmt.Errorf("corpusgen: span %q has a bad count", s)
+	}
+	return time.Duration(n * float64(unit)), nil
+}
+
+// parseVocabDist parses a distribution whose values must come from a fixed
+// vocabulary.
+func parseVocabDist(key, val string, ok func(string) bool) (*traffic.Dist, error) {
+	d, err := traffic.ParseDistribution(val)
+	if err != nil {
+		return nil, fmt.Errorf("corpusgen: %s: %w", key, err)
+	}
+	for _, e := range d.Entries() {
+		if !ok(e.Value) {
+			return nil, fmt.Errorf("corpusgen: %s: unknown value %q", key, e.Value)
+		}
+	}
+	return d, nil
+}
+
+// parseSpanDist parses a distribution whose values must be spans.
+func parseSpanDist(key, val string) (*traffic.Dist, error) {
+	d, err := traffic.ParseDistribution(val)
+	if err != nil {
+		return nil, fmt.Errorf("corpusgen: %s: %w", key, err)
+	}
+	for _, e := range d.Entries() {
+		if _, err := parseSpan(e.Value); err != nil {
+			return nil, fmt.Errorf("corpusgen: %s: %w", key, err)
+		}
+	}
+	return d, nil
+}
+
+// mustDist parses a compile-time default distribution.
+func mustDist(s string) *traffic.Dist {
+	d, err := traffic.ParseDistribution(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// DefaultSpec returns the published-distribution defaults.
+func DefaultSpec() *Spec {
+	return &Spec{
+		Faults:   DefaultFaults,
+		Episodes: DefaultEpisodes,
+		Class:    mustDist(DefaultClassDist),
+		App:      mustDist(DefaultAppDist),
+		Defect:   mustDist(DefaultDefectDist),
+		Lifetime: mustDist(DefaultLifetimeDist),
+		Overlap:  mustDist(DefaultOverlapDist),
+		Gap:      mustDist(DefaultGapDist),
+	}
+}
+
+// ParseCorpusSpec parses a corpus specification: semicolon-separated
+// key=value fields where the sizes are integers and every distribution uses
+// the traffic grammar, e.g.
+//
+//	faults=5000;episodes=500;class=81.3%ei,10.1%edn,8.6%edt
+//
+// Omitted keys keep their published-distribution defaults; the empty string
+// is the default spec. Unknown or repeated keys are errors.
+func ParseCorpusSpec(s string) (*Spec, error) {
+	spec := DefaultSpec()
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	seen := make(map[string]bool, 8)
+	for _, field := range strings.Split(s, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return nil, fmt.Errorf("corpusgen: empty spec field")
+		}
+		key, val, ok := strings.Cut(field, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" {
+			return nil, fmt.Errorf("corpusgen: field %q is not key=value", field)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("corpusgen: key %q repeated", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "faults":
+			spec.Faults, err = parseCount(key, val, 1, maxFaults)
+		case "episodes":
+			spec.Episodes, err = parseCount(key, val, 0, maxEpisodes)
+		case "class":
+			spec.Class, err = parseVocabDist(key, val, func(v string) bool { _, ok := classValues[v]; return ok })
+		case "app":
+			spec.App, err = parseVocabDist(key, val, func(v string) bool { _, ok := appValues[v]; return ok })
+		case "defect":
+			spec.Defect, err = parseVocabDist(key, val, func(v string) bool { return defectValues[v] })
+		case "lifetime":
+			spec.Lifetime, err = parseSpanDist(key, val)
+		case "overlap":
+			spec.Overlap, err = parseVocabDist(key, val, func(v string) bool { return overlapValues[v] })
+		case "gap":
+			spec.Gap, err = parseSpanDist(key, val)
+		default:
+			err = fmt.Errorf("corpusgen: unknown key %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}
+
+// parseCount parses a bounded integer field.
+func parseCount(key, val string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("corpusgen: %s: %v", key, err)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("corpusgen: %s=%d outside [%d, %d]", key, n, lo, hi)
+	}
+	return n, nil
+}
+
+// String renders the spec back in its source grammar, in canonical key
+// order. ParseCorpusSpec(s.String()) reproduces s exactly.
+func (s *Spec) String() string {
+	return fmt.Sprintf("faults=%d;episodes=%d;class=%s;app=%s;defect=%s;lifetime=%s;overlap=%s;gap=%s",
+		s.Faults, s.Episodes, s.Class, s.App, s.Defect, s.Lifetime, s.Overlap, s.Gap)
+}

@@ -1,0 +1,104 @@
+package corpusgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultSpecParses(t *testing.T) {
+	spec, err := ParseCorpusSpec("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if spec.Faults != DefaultFaults || spec.Episodes != DefaultEpisodes {
+		t.Fatalf("defaults: got %d/%d faults/episodes", spec.Faults, spec.Episodes)
+	}
+	if got := spec.Class.String(); got != DefaultClassDist {
+		t.Fatalf("class default: got %q want %q", got, DefaultClassDist)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"faults=100",
+		"faults=12;episodes=3;class=50%ei,50%edt",
+		"lifetime=100%45s;gap=60%1h,40%3d",
+		"app=100%cache;defect=50%memory,50%logic;overlap=100%cascade",
+	}
+	for _, in := range specs {
+		spec, err := ParseCorpusSpec(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		canon := spec.String()
+		again, err := ParseCorpusSpec(canon)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", canon, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("round trip %q: %q != %q", in, again.String(), canon)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	cases := []struct{ in, wantSub string }{
+		{"faults=0", "outside"},
+		{"faults=-3", "outside"},
+		{"faults=nope", "faults"},
+		{"episodes=-1", "outside"},
+		{"bogus=1", "unknown key"},
+		{"faults=5;faults=6", "repeated"},
+		{"faults=5;;episodes=1", "empty spec field"},
+		{"class=50%ei,50%weird", "unknown value"},
+		{"class=60%ei,60%edn", "sum"},
+		{"app=100%nginx", "unknown value"},
+		{"defect=100%cosmic-ray", "unknown value"},
+		{"overlap=100%sideways", "unknown value"},
+		{"lifetime=100%never", "not a duration"},
+		{"gap=100%-5s", "negative"},
+		{"lifetime=100%9999y", "bad count"},
+		{"noequals", "key=value"},
+	}
+	for _, c := range cases {
+		_, err := ParseCorpusSpec(c.in)
+		if err == nil {
+			t.Errorf("spec %q: want error containing %q, got nil", c.in, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("spec %q: error %q does not contain %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseSpanUnits(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"45s", 45 * time.Second},
+		{"1h30m", 90 * time.Minute},
+		{"30d", 30 * 24 * time.Hour},
+		{"2w", 14 * 24 * time.Hour},
+		{"2y", 2 * 365 * 24 * time.Hour},
+		{"0.5d", 12 * time.Hour},
+	}
+	for _, c := range cases {
+		got, err := parseSpan(c.in)
+		if err != nil {
+			t.Errorf("parseSpan(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseSpan(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "d", "-3d", "NaNy", "1e99y", "soon"} {
+		if _, err := parseSpan(bad); err == nil {
+			t.Errorf("parseSpan(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package corpusgen
+
+import (
+	"fmt"
+
+	"faultstudy/internal/taxonomy"
+)
+
+// Report-text templates. Generated reports must read the way the study's
+// reports read, because the classifier recovers each fault's class from the
+// same cue language the study's authors leaned on: environmental reports
+// name their trigger condition, deterministic reports say "every time". The
+// defect prose is deliberately trigger-neutral — it describes the code-level
+// bug without environmental vocabulary, so the how-to-repeat section alone
+// decides the classification.
+
+// defectProse describes the code defect per sampled defect type.
+var defectProse = map[string]string{
+	"memory":      "A pointer error dereferences memory past the end of an internal buffer, corrupting the adjacent allocation.",
+	"logic":       "A missing initialization leaves a state variable at its zero value, so a later branch takes the wrong arm.",
+	"interface":   "The caller and callee disagree about an argument's units, so the callee is handed a value outside its contract.",
+	"concurrency": "Two code paths update a shared counter without holding the same lock, so one of the updates is silently dropped.",
+	"resource":    "An internal handle is not released on an early-return error path, so the table of handles slowly fills up.",
+}
+
+// symptomProse describes the observable failure per symptom.
+var symptomProse = map[taxonomy.Symptom]string{
+	taxonomy.SymptomCrash: "The daemon crashes with a segmentation fault.",
+	taxonomy.SymptomError: "The daemon returns a wrong result to the client.",
+	taxonomy.SymptomHang:  "The daemon stops responding until killed.",
+}
+
+// deterministicProse is the EI how-to-repeat: the reporters' happens-every-
+// time language, with no environmental cue in sight.
+const deterministicProse = "Run the triggering workload. The failure is workload-deterministic: " +
+	"it happens every time, on any machine, 100% reproducible."
+
+// triggerProse is the environmental how-to-repeat per trigger kind: each
+// sentence states the §5-style trigger condition in the vocabulary the
+// classifier's lexicon recognizes, and only that trigger's vocabulary.
+var triggerProse = map[taxonomy.TriggerKind]string{
+	taxonomy.TriggerResourceLeak: "Under sustained high load the daemon leaks a buffer per request; " +
+		"memory accumulates until the resource leak exhausts the process.",
+	taxonomy.TriggerFDExhaustion: "Every connection holds its descriptor open, so the process runs out of file " +
+		"descriptors once the descriptor limit is reached.",
+	taxonomy.TriggerDiskFull: "The write lands on a full file system: no space left on the partition, " +
+		"and the disk cannot store any more.",
+	taxonomy.TriggerFileSizeLimit: "The append log grows past the maximum allowed file size and the " +
+		"write is rejected at the file size limit.",
+	taxonomy.TriggerNetworkResource: "The kernel network resource backing the PCMCIA network card is " +
+		"exhausted, and the kernel refuses new connections.",
+	taxonomy.TriggerHostConfig: "The connecting host is misconfigured: its reverse DNS entry is missing, " +
+		"so the PTR record never resolves to a hostname.",
+	taxonomy.TriggerDNSFailure: "A call to DNS fails under load: the DNS server answers slowly or not " +
+		"at all, and each DNS lookup comes back with an error.",
+	taxonomy.TriggerProcessTable: "Hung child processes fill the process table and hang onto required " +
+		"network ports until an operator kills all processes by hand.",
+	taxonomy.TriggerRequestTiming: "Only when the user presses stop at just the right moment in the " +
+		"midst of a page download; the timing of the requested workload is everything.",
+	taxonomy.TriggerRace: "A race condition between the worker threads: the failure is intermittent, " +
+		"not reliably reproducible, and works on a retry.",
+	taxonomy.TriggerSlowNetwork: "Over a slow network the transfer stalls; once the uplink is saturated " +
+		"the operation never completes.",
+	taxonomy.TriggerEntropy: "SSL handshakes on a freshly booted box block reading /dev/random: the " +
+		"kernel entropy pool is drained.",
+}
+
+// synopsis is the one-line summary. It deliberately avoids every lexicon cue
+// — the classification signal lives in the body, like the study's reports.
+func (f *GenFault) synopsis() string {
+	return fmt.Sprintf("%s daemon failure #%06d (%s defect)", f.AppName, f.Index, f.Defect)
+}
+
+// description is the report body: the defect, the symptom, and the lifetime.
+func (f *GenFault) description() string {
+	return fmt.Sprintf("%s %s The defect was present in production for roughly %s before the fix.",
+		defectProse[f.Defect], symptomProse[f.Symptom], f.LifetimeText)
+}
+
+// howToRepeat carries the classification signal: deterministic language for
+// EI faults, the mechanism trigger's environmental condition otherwise.
+func (f *GenFault) howToRepeat() string {
+	if f.Class == taxonomy.ClassEnvIndependent {
+		return deterministicProse
+	}
+	return triggerProse[f.Trigger]
+}

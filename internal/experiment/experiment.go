@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"faultstudy/internal/apps/cache"
 	"faultstudy/internal/apps/desktop"
 	"faultstudy/internal/apps/httpd"
 	"faultstudy/internal/apps/sqldb"
@@ -162,6 +163,14 @@ func BuildScenario(mechanism string, seed int64) (recovery.Application, faultinj
 			return nil, faultinject.Scenario{}, fmt.Errorf("experiment: no desktop scenario for %s", mechanism)
 		}
 		return d, sc, nil
+	case strings.HasPrefix(mechanism, "cache/"):
+		env := simenv.New(seed, simenv.WithFDLimit(64))
+		srv := cache.New(env, faultinject.NewSet(mechanism), cache.Config{Capacity: 16})
+		sc, ok := cache.Scenarios(srv)[mechanism]
+		if !ok {
+			return nil, faultinject.Scenario{}, fmt.Errorf("experiment: no cache scenario for %s", mechanism)
+		}
+		return srv, sc, nil
 	default:
 		return nil, faultinject.Scenario{}, fmt.Errorf("experiment: unknown mechanism namespace %q", mechanism)
 	}
@@ -176,5 +185,19 @@ func Registry() *faultinject.Registry {
 	httpd.RegisterMechanisms(r)
 	sqldb.RegisterMechanisms(r)
 	desktop.RegisterMechanisms(r)
+	return r
+}
+
+// CorpusRegistry returns the extended mechanism catalogue the generated
+// corpus samples from: the paper's three applications plus the extension
+// archetypes. It is deliberately distinct from Registry() so the paper-table
+// experiments (matrix, soak, mreboot, lint, scope, serve) keep the studied
+// universe untouched.
+func CorpusRegistry() *faultinject.Registry {
+	r := faultinject.NewRegistry()
+	httpd.RegisterMechanisms(r)
+	sqldb.RegisterMechanisms(r)
+	desktop.RegisterMechanisms(r)
+	cache.RegisterMechanisms(r)
 	return r
 }

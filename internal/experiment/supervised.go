@@ -83,6 +83,12 @@ func opKindFor(mechanism, name string) supervise.OpKind {
 			return supervise.OpWrite
 		}
 		return supervise.OpRead
+	case strings.HasPrefix(mechanism, "cache/"):
+		if strings.HasPrefix(name, "SET") || strings.HasPrefix(name, "DEL") ||
+			strings.HasPrefix(name, "FLUSH") {
+			return supervise.OpWrite
+		}
+		return supervise.OpRead
 	default:
 		return supervise.OpRead
 	}

@@ -328,7 +328,8 @@ func (s Severity) Qualifies() bool {
 	return s == SeveritySerious || s == SeverityCritical
 }
 
-// Application identifies one of the three studied applications.
+// Application identifies one of the three studied applications, or an
+// extension archetype added after the paper's study.
 type Application int
 
 const (
@@ -340,6 +341,11 @@ const (
 	AppGnome
 	// AppMySQL is the MySQL database server.
 	AppMySQL
+	// AppCache is the LRU cache daemon — an extension archetype outside the
+	// paper's three studied applications (it is absent from Applications()
+	// and from every paper-table path; the generated-corpus experiments use
+	// it to test whether the taxonomy holds beyond the studied set).
+	AppCache
 )
 
 var appNames = map[Application]string{
@@ -347,6 +353,7 @@ var appNames = map[Application]string{
 	AppApache:  "apache",
 	AppGnome:   "gnome",
 	AppMySQL:   "mysql",
+	AppCache:   "cached",
 }
 
 // String returns the lowercase application name.
@@ -366,6 +373,8 @@ func ParseApplication(v string) (Application, error) {
 		return AppGnome, nil
 	case "mysql", "mysqld":
 		return AppMySQL, nil
+	case "cached", "cache":
+		return AppCache, nil
 	}
 	return AppUnknown, fmt.Errorf("taxonomy: unrecognized application %q", v)
 }

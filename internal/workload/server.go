@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"faultstudy/internal/apps/cache"
 	"faultstudy/internal/apps/httpd"
 	"faultstudy/internal/apps/sqldb"
 )
@@ -32,4 +33,5 @@ type Server interface {
 var (
 	_ Server = (*httpd.Componentized)(nil)
 	_ Server = (*sqldb.Componentized)(nil)
+	_ Server = (*cache.Componentized)(nil)
 )
