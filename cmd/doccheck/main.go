@@ -1,9 +1,10 @@
 // Command doccheck enforces the documentation contract on the packages whose
 // godoc is part of the deliverable: every exported identifier — functions,
 // methods, types, constants, variables, struct fields, and interface methods
-// — must carry a doc comment. CI runs it over internal/obsv,
-// internal/supervise, internal/recovery, and internal/traffic and fails on
-// any finding.
+// — must carry a doc comment. CI runs it over the observability, recovery,
+// supervision, mining-resilience, analysis, corpus, and durable-storage
+// packages (see the lint job in .github/workflows/ci.yml for the authoritative
+// list) and fails on any finding.
 //
 // With -flags, doccheck switches contracts: it parses every command under
 // the -cmds directory for flag definitions and verifies that every CLI flag

@@ -25,6 +25,10 @@
 //	recoverylab -corpus                         # generated corpus: 5000 faults + 500 episodes through the ladder
 //	recoverylab -corpus -spec "faults=200;episodes=20"  # a smaller generated population
 //	recoverylab -corpus -corpusout corpus.jsonl # also write the generated population as JSONL
+//	recoverylab -durable                        # crash matrix + device faults against the WAL store
+//	recoverylab -durable -warehouse d.whs       # ... recording finished arms durably
+//	recoverylab -durable -warehouse d.whs -haltafter 4  # run 4 arms, then halt (kill simulation)
+//	recoverylab -durable -warehouse d.whs -resume       # finish a halted sweep byte-identically
 //
 // -resil exits non-zero unless the sweep's headline holds: under the full
 // client policy, transient (EDT) chaos survival is at least 90% and
@@ -45,6 +49,15 @@
 // serve gate. SERVING.md documents the traffic model; -users sizes the
 // simulated user pool, -arrive picks the arrival process, and -reqlog
 // writes the per-request JSONL log.
+//
+// -durable exits non-zero unless the durability claims hold: across the
+// kill-at-every-write-boundary crash matrix and the device-fault catalogue,
+// zero acknowledged records are lost silently, zero corruptions go
+// undetected, every episode's store recovers to a writable state, and the
+// one deliberate torn-write device lie is detected and bounded — the CI
+// durable gate. -warehouse records finished arms durably; -haltafter stops
+// after N arms (exit 0) and -resume finishes a halted sweep, reproducing the
+// uninterrupted run's report and telemetry byte-identically.
 //
 // -corpus exits non-zero unless the generated population passes every gate:
 // each sampler fits its declared distribution (chi-squared, alpha 0.001),
@@ -120,6 +133,10 @@ func run() error {
 		corpusRun  = flag.Bool("corpus", false, "run the CORPUS experiment: a generated fault population through classification and the supervised ladder")
 		spec       = flag.String("spec", "", "corpus specification (with -corpus; empty = published-distribution defaults)")
 		corpusOut  = flag.String("corpusout", "", "write the generated population to this file as JSONL (with -corpus)")
+		durableRun = flag.Bool("durable", false, "run the DURABLE experiment: crash matrix + device faults against the WAL store")
+		whPath     = flag.String("warehouse", "", "record finished arms in this resumable result store (with -durable)")
+		resume     = flag.Bool("resume", false, "preload finished arms from the warehouse instead of rerunning them (with -durable)")
+		haltAfter  = flag.Int("haltafter", 0, "run only this many missing arms, then halt (with -durable; 0 = run everything)")
 	)
 	flag.Parse()
 
@@ -153,6 +170,16 @@ func run() error {
 	var gate error
 
 	switch {
+	case *durableRun:
+		rep, err := experiment.RunDurable(experiment.DurableConfig{
+			Seed: *seed, Telemetry: tel, Workers: *workers,
+			Warehouse: *whPath, Resume: *resume, HaltAfter: *haltAfter,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		gate = rep.Check()
 	case *corpusRun:
 		rep, err := experiment.RunCorpus(experiment.CorpusConfig{
 			Seed: *seed, Spec: *spec,

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"faultstudy/internal/durable"
 	"faultstudy/internal/faultinject"
 	"faultstudy/internal/simenv"
 	"faultstudy/internal/taxonomy"
@@ -35,11 +36,14 @@ const Owner = "cached"
 const (
 	defaultPort     = 11211
 	defaultCapacity = 32
-	aofLog          = "/var/lib/cached/append.aof"
-	maxValueBytes   = 4096
-	shadowCopyCap   = 16 // leaked shadow copies before the daemon dies
-	peerHost        = "peer.cache.example"
-	peerTimeout     = 5 * time.Second
+	// aofDir roots the append-only persistence store: a real write-ahead
+	// log plus checkpoint (internal/durable) under /var/lib/cached, written
+	// through the injectable disk so its faults damage actual bytes.
+	aofDir        = "/var/lib/cached"
+	maxValueBytes = 4096
+	shadowCopyCap = 16 // leaked shadow copies before the daemon dies
+	peerHost      = "peer.cache.example"
+	peerTimeout   = 5 * time.Second
 )
 
 // Config sets up a Server.
@@ -76,6 +80,11 @@ type Server struct {
 	// aofSuspended makes a down persist component serve unpersisted.
 	portBound    bool
 	aofSuspended bool
+
+	// store is the append-only persistence log: every acknowledged mutation
+	// is WAL-logged through it, and rebooting the persist component reruns
+	// real recovery (checkpoint-load + log-replay) over its bytes.
+	store *durable.Store
 
 	// Logical state (travels through Snapshot/Restore).
 	items       map[string]string
@@ -163,8 +172,30 @@ func (s *Server) Start() error {
 		}
 		s.connFDs = append(s.connFDs, fd)
 	}
+	if err := s.reopenStoreLocked(); err != nil {
+		_ = s.env.Net().ReleasePort(s.cfg.Port)
+		s.portBound = false
+		s.closeConnFDsLocked()
+		return err
+	}
 	s.running = true
 	s.aofSuspended = false
+	return nil
+}
+
+// reopenStoreLocked closes any previous store incarnation and runs durable
+// recovery over whatever the append-only log left on disk — every boot of
+// the persistence path is a real replay.
+func (s *Server) reopenStoreLocked() error {
+	if s.store != nil {
+		s.store.Close()
+		s.store = nil
+	}
+	st, _, err := durable.Open(s.env, Owner, aofDir, durable.Options{NoFD: true})
+	if err != nil {
+		return fmt.Errorf("cache: open aof store: %w", err)
+	}
+	s.store = st
 	return nil
 }
 
@@ -185,6 +216,9 @@ func (s *Server) Stop() {
 	s.running = false
 	s.portBound = false
 	s.closeConnFDsLocked()
+	if s.store != nil {
+		s.store.Close()
+	}
 	_ = s.env.Net().ReleasePort(s.cfg.Port)
 }
 
@@ -222,15 +256,17 @@ func (s *Server) preamble() error {
 	return nil
 }
 
-// appendAOF persists one mutation to the append-only log. Degraded mode and
-// a down persist component skip persistence entirely; a healthy daemon on a
-// full partition drops the log record and carries on, while the seeded
-// disk-full bug fails the operation instead.
-func (s *Server) appendAOF() error {
-	if s.degraded || s.aofSuspended {
+// logAOF persists one mutation batch to the append-only log, synced before
+// acknowledgement. Degraded mode and a down persist component skip
+// persistence entirely; a healthy daemon on a full partition drops the log
+// record and carries on, while the seeded disk-full bug fails the operation
+// instead. A log at the maximum file size triggers the AOF rewrite — a
+// checkpoint of the full state that truncates the log.
+func (s *Server) logAOF(ops []durable.Op) error {
+	if s.degraded || s.aofSuspended || s.store == nil {
 		return nil
 	}
-	err := s.env.Disk().Append(aofLog, Owner, 64)
+	err := s.store.Apply(ops)
 	switch {
 	case err == nil:
 		return nil
@@ -241,10 +277,10 @@ func (s *Server) appendAOF() error {
 		}
 		return nil
 	case errors.Is(err, simenv.ErrFileTooLarge):
-		if terr := s.env.Disk().Truncate(aofLog); terr != nil {
-			return fmt.Errorf("cache: aof rewrite: %w", terr)
+		if cerr := s.store.Checkpoint(); cerr != nil {
+			return fmt.Errorf("cache: aof rewrite: %w", cerr)
 		}
-		return s.env.Disk().Append(aofLog, Owner, 64)
+		return s.store.Apply(ops)
 	default:
 		return fmt.Errorf("cache: aof: %w", err)
 	}
@@ -333,6 +369,7 @@ func (s *Server) Set(key, value string) error {
 				"leaked shadow copies exhausted memory under sustained load")
 		}
 	}
+	var evicted []durable.Op
 	if _, exists := s.items[key]; !exists && len(s.items) >= s.cfg.Capacity {
 		if s.faults.Enabled(MechEvictOffByOne) {
 			s.running = false
@@ -343,9 +380,12 @@ func (s *Server) Set(key, value string) error {
 			victim := s.lru[0]
 			s.lru = s.lru[1:]
 			delete(s.items, victim)
+			evicted = []durable.Op{{Kind: durable.OpDelete, Key: victim}}
 		}
 	}
-	if err := s.appendAOF(); err != nil {
+	// The eviction and the store travel as one atomic log record.
+	ops := append(evicted, durable.Op{Kind: durable.OpPut, Key: key, Value: []byte(value)})
+	if err := s.logAOF(ops); err != nil {
 		return err
 	}
 	s.items[key] = value
@@ -371,7 +411,7 @@ func (s *Server) Del(key string) error {
 		return faultinject.Fail(MechExpiryRace, taxonomy.SymptomCrash,
 			"delete raced the expiry sweep and freed the entry twice")
 	}
-	if err := s.appendAOF(); err != nil {
+	if err := s.logAOF([]durable.Op{{Kind: durable.OpDelete, Key: key}}); err != nil {
 		return err
 	}
 	delete(s.items, key)
@@ -427,7 +467,7 @@ func (s *Server) Flush() error {
 			"second flush freed the slab list twice")
 	}
 	s.lastFlush = true
-	if err := s.appendAOF(); err != nil {
+	if err := s.logAOF([]durable.Op{{Kind: durable.OpClear}}); err != nil {
 		return err
 	}
 	s.items = map[string]string{}
@@ -494,7 +534,37 @@ func (s *Server) Restore(snapshot []byte) error {
 	s.connFDWant = st.ConnFDWant
 	s.lastFlush = false
 	s.mu.Unlock()
-	return s.Start()
+	if err := s.Start(); err != nil {
+		return err
+	}
+	// Reconcile the append-only store with the restored state as one atomic
+	// batch (clear + re-put in LRU order). A failure — say the partition is
+	// still full — leaves the store wounded; the next append repairs it, and
+	// the daemon serves from the restored index meanwhile.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		ops := []durable.Op{{Kind: durable.OpClear}}
+		seen := make(map[string]bool, len(s.items))
+		for _, key := range s.lru {
+			if v, ok := s.items[key]; ok && !seen[key] {
+				ops = append(ops, durable.Op{Kind: durable.OpPut, Key: key, Value: []byte(v)})
+				seen[key] = true
+			}
+		}
+		rest := make([]string, 0, len(s.items))
+		for key := range s.items {
+			if !seen[key] {
+				rest = append(rest, key)
+			}
+		}
+		sort.Strings(rest)
+		for _, key := range rest {
+			ops = append(ops, durable.Op{Kind: durable.OpPut, Key: key, Value: []byte(s.items[key])})
+		}
+		_ = s.store.Apply(ops)
+	}
+	return nil
 }
 
 // Reset reinitializes the daemon to its pristine configuration — the
@@ -508,6 +578,10 @@ func (s *Server) Reset() error {
 		return errors.New("cache: reset while running")
 	}
 	s.closeConnFDsLocked()
+	if s.store != nil {
+		_ = s.store.Destroy()
+		s.store = nil
+	}
 	s.requests = 0
 	s.gets = 0
 	s.hits = 0
@@ -517,6 +591,14 @@ func (s *Server) Reset() error {
 	s.resetContent()
 	s.mu.Unlock()
 	return s.Start()
+}
+
+// DurableStore exposes the append-only persistence store for probes that
+// verify acknowledged mutations against recovered bytes.
+func (s *Server) DurableStore() *durable.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
 }
 
 // Keys returns the cached keys, sorted (test helper).

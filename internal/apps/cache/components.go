@@ -112,14 +112,24 @@ func Componentize(srv *Server, store *component.Store) *Componentized {
 		},
 	})})
 	c.tree.MustAdd(component.Spec{StartCost: persistStartCost, Deps: []string{CompCore}, Component: component.NewPart(CompPersist, component.Hooks{
+		// Crash-stopping the persist part really kills the log writer: the
+		// store closes without any flush (acknowledged records are already
+		// synced), and restarting it reruns durable recovery over the bytes
+		// the kill left behind — crash-only for real.
 		OnKill: func() {
 			s.mu.Lock()
 			defer s.mu.Unlock()
+			if s.store != nil {
+				s.store.Close()
+			}
 			s.aofSuspended = true
 		},
 		OnStart: func() error {
 			s.mu.Lock()
 			defer s.mu.Unlock()
+			if err := s.reopenStoreLocked(); err != nil {
+				return err
+			}
 			s.aofSuspended = false
 			return nil
 		},

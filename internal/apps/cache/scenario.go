@@ -81,8 +81,11 @@ func Scenarios(srv *Server) map[string]faultinject.Scenario {
 		},
 		MechAOFDiskFull: {
 			Description: "another tenant fills the persistence partition",
-			Stage:       func() { _ = env.Disk().FillFrom("other-tenant", 32) }, //faultlint:ignore envcheck staging the hostile environment is the point
-			Ops:         []faultinject.Op{set("k", "v")},
+			// The margin must be smaller than the smallest log record the
+			// triggering SET can append (29 bytes for SET k v), so the
+			// append genuinely hits the full partition.
+			Stage: func() { _ = env.Disk().FillFrom("other-tenant", 16) }, //faultlint:ignore envcheck staging the hostile environment is the point
+			Ops:   []faultinject.Op{set("k", "v")},
 		},
 		MechConnFDLeak: {
 			Description: "leaked connection descriptors fill the table",

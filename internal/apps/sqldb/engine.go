@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"faultstudy/internal/durable"
 	"faultstudy/internal/faultinject"
 	"faultstudy/internal/simenv"
 	"faultstudy/internal/taxonomy"
@@ -104,6 +105,10 @@ func (s *Server) createTable(st *Statement) error {
 	if err := s.openTableFD(t); err != nil {
 		return err
 	}
+	if err := s.logDurable("create table", []durable.Op{schemaOp(t, nil)}); err != nil {
+		_ = s.env.FDs().Close(t.fd)
+		return err
+	}
 	s.tables[st.Table] = t
 	return nil
 }
@@ -128,6 +133,13 @@ func (s *Server) dropTable(name string) error {
 	if err != nil {
 		return err
 	}
+	ops := []durable.Op{{Kind: durable.OpDelete, Key: schemaKey(name)}}
+	for id := range t.rows {
+		ops = append(ops, durable.Op{Kind: durable.OpDelete, Key: rowKey(name, id)})
+	}
+	if err := s.logDurable("drop table", ops); err != nil {
+		return err
+	}
 	if t.hasFD {
 		_ = s.env.FDs().Close(t.fd)
 	}
@@ -149,6 +161,10 @@ func (s *Server) createIndex(st *Statement) error {
 	}
 	if _, dup := t.indexes[st.IndexCol]; dup {
 		return fmt.Errorf("sqldb: column %q already indexed", st.IndexCol)
+	}
+	if err := s.logDurable("create index",
+		[]durable.Op{schemaOp(t, append(indexList(t), st.IndexCol))}); err != nil {
+		return err
 	}
 	idx := newBTree()
 	for rowID, row := range t.rows {
@@ -189,6 +205,11 @@ func (s *Server) insertRow(st *Statement) error {
 	}
 	rowID := len(t.rows)
 	row := append(Row(nil), st.Values...)
+	if err := s.logDurable("insert", []durable.Op{rowOp(t.name, rowID, row)}); err != nil {
+		// Un-charge the datafile bytes the uncommitted row claimed.
+		_ = s.env.Disk().Shrink(t.dataFile(), rowBytes)
+		return err
+	}
 	t.rows = append(t.rows, row)
 	t.live++
 	for col, idx := range t.indexes {
@@ -405,6 +426,32 @@ func (s *Server) updateRows(st *Statement) error {
 		return st.SetVal, nil
 	}
 
+	// Plan the statement's final row images with the fixed algorithm and
+	// WAL them before touching memory: the log carries the statement as one
+	// atomic batch, so replay never sees a half-applied UPDATE even when the
+	// in-place scan below dies halfway through.
+	var planOps []durable.Op
+	for rowID, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if st.Where != nil && !s.rowMatches(t, rowID, st.Where) {
+			continue
+		}
+		nv, nerr := newVal(row[ci])
+		if nerr != nil {
+			return nerr
+		}
+		updated := append(Row(nil), row...)
+		updated[ci] = nv
+		planOps = append(planOps, rowOp(t.name, rowID, updated))
+	}
+	if len(planOps) > 0 {
+		if err := s.logDurable("update", planOps); err != nil {
+			return err
+		}
+	}
+
 	// The seeded index-update-scan bug: when the updated column is indexed
 	// and the bug is active, the engine walks the index and updates rows in
 	// place. An update that moves a key *forward* is re-encountered later in
@@ -472,6 +519,22 @@ func (s *Server) deleteRows(st *Statement) error {
 	if err != nil {
 		return err
 	}
+	// WAL the victims' tombstones as one atomic batch before deleting.
+	var ops []durable.Op
+	for rowID, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if st.Where != nil && !s.rowMatches(t, rowID, st.Where) {
+			continue
+		}
+		ops = append(ops, rowOp(t.name, rowID, nil))
+	}
+	if len(ops) > 0 {
+		if err := s.logDurable("delete", ops); err != nil {
+			return err
+		}
+	}
 	for rowID, row := range t.rows {
 		if row == nil {
 			continue
@@ -529,11 +592,25 @@ func (s *Server) optimizeTable(name string) error {
 		return faultinject.Fail(MechOptimizeCrash, taxonomy.SymptomCrash,
 			"table rebuild uses an uninitialized merge buffer")
 	}
-	// Compact row holes and rebuild indexes.
+	// Compact row holes and rebuild indexes. Row ids shift, so the WAL batch
+	// rewrites every surviving row at its new id and drops the keys beyond
+	// the compacted length — one atomic batch, like the datafile rewrite.
 	var rows []Row
 	for _, row := range t.rows {
 		if row != nil {
 			rows = append(rows, row)
+		}
+	}
+	var ops []durable.Op
+	for id, row := range rows {
+		ops = append(ops, rowOp(t.name, id, row))
+	}
+	for id := len(rows); id < len(t.rows); id++ {
+		ops = append(ops, durable.Op{Kind: durable.OpDelete, Key: rowKey(t.name, id)})
+	}
+	if len(ops) > 0 {
+		if err := s.logDurable("optimize", ops); err != nil {
+			return err
 		}
 	}
 	t.rows = rows

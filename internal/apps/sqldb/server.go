@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"faultstudy/internal/durable"
 	"faultstudy/internal/faultinject"
 	"faultstudy/internal/simenv"
 	"faultstudy/internal/taxonomy"
@@ -37,6 +38,15 @@ type Server struct {
 	// pendingGrants counts GRANTs awaiting FLUSH PRIVILEGES — the shared
 	// structure the login/admin race corrupts.
 	pendingGrants int
+	// store is the engine's durable backend: every committed statement is
+	// WAL-logged through it before acknowledgement, and the restore rung
+	// replays its recovered bytes instead of trusting an in-memory copy.
+	store *durable.Store
+	// walReplays counts restores served by checkpoint-load + log-replay;
+	// logicalFallbacks counts restores that had to rebuild from the JSON
+	// snapshot because the log no longer reached the snapshot's sequence.
+	walReplays       int64
+	logicalFallbacks int64
 }
 
 // New builds a server over the environment with the given active bug set.
@@ -86,8 +96,10 @@ func (s *Server) Running() bool {
 // why. Must be called with s.mu held.
 func (s *Server) crash() { s.running = false }
 
-// Start binds the listening port and reopens every table's datafile
-// descriptor.
+// Start binds the listening port, reopens every table's datafile
+// descriptor, and reopens the durable store — a real recovery pass
+// (checkpoint-load + log-replay + tail repair) on every boot, because the
+// recovery code IS the startup path.
 func (s *Server) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -113,8 +125,30 @@ func (s *Server) Start() error {
 			}
 		}
 	}
+	if _, err := s.reopenStoreLocked(); err != nil {
+		_ = s.env.Net().ReleasePort(serverPort)
+		s.portBound = false
+		s.closeTableFDsLocked()
+		return err
+	}
 	s.running = true
 	return nil
+}
+
+// reopenStoreLocked closes any previous store incarnation and runs durable
+// recovery over whatever it left on disk. The store charges no descriptor of
+// its own: table datafiles model the engine's descriptor footprint.
+func (s *Server) reopenStoreLocked() (*durable.RecoveryInfo, error) {
+	if s.store != nil {
+		s.store.Close()
+		s.store = nil
+	}
+	st, info, err := durable.Open(s.env, Owner, storeDir, durable.Options{NoFD: true})
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: open durable store: %w", err)
+	}
+	s.store = st
+	return info, nil
 }
 
 func (s *Server) closeTableFDsLocked() {
@@ -127,6 +161,8 @@ func (s *Server) closeTableFDsLocked() {
 }
 
 // Stop shuts the server down and releases its environment resources.
+// Closing the durable store is crash-equivalent: every acknowledged record
+// is already synced, so stop == kill.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -137,6 +173,9 @@ func (s *Server) Stop() {
 	_ = s.env.Net().ReleasePort(serverPort)
 	s.portBound = false
 	s.closeTableFDsLocked()
+	if s.store != nil {
+		s.store.Close()
+	}
 	s.connections = make(map[int]string)
 	s.lockedTable = ""
 }
@@ -265,6 +304,9 @@ type dbState struct {
 	LockedTable   string       `json:"lockedTable"`
 	Queries       int64        `json:"queries"`
 	PendingGrants int          `json:"pendingGrants"`
+	// DurableSeq is the durable store's last acknowledged sequence number at
+	// snapshot time — the rollback target a restore rewinds the log to.
+	DurableSeq uint64 `json:"durableSeq"`
 }
 
 type tableState struct {
@@ -285,6 +327,9 @@ func (s *Server) Snapshot() ([]byte, error) {
 		LockedTable:   s.lockedTable,
 		Queries:       s.queries,
 		PendingGrants: s.pendingGrants,
+	}
+	if s.store != nil {
+		st.DurableSeq = s.store.Seq()
 	}
 	names := make([]string, 0, len(s.tables))
 	for name := range s.tables {
@@ -313,7 +358,12 @@ func (s *Server) Snapshot() ([]byte, error) {
 
 // Restore replaces the server's logical state from a snapshot and restarts
 // it, re-acquiring the port, every table descriptor, and the disk footprint
-// the state mandates. The server must be stopped.
+// the state mandates. The data plane is rebuilt by recovering the durable
+// store from disk and rewinding its log to the snapshot's sequence number —
+// checkpoint-load plus replay of real bytes — with the snapshot's JSON as
+// the fallback when the log no longer reaches that point (and as the only
+// source for session scalars, which are state, not data). The server must be
+// stopped.
 func (s *Server) Restore(snapshot []byte) error {
 	var st dbState
 	if err := json.Unmarshal(snapshot, &st); err != nil {
@@ -326,36 +376,58 @@ func (s *Server) Restore(snapshot []byte) error {
 	}
 	// Release descriptors held by the dead instance before rebuilding.
 	s.closeTableFDsLocked()
-	s.tables = make(map[string]*table, len(st.Tables))
-	for _, ts := range st.Tables {
-		t := &table{name: ts.Name, cols: append([]ColDef(nil), ts.Cols...), indexes: make(map[string]*btree)}
-		deleted := make(map[int]bool, len(ts.Deleted))
-		for _, d := range ts.Deleted {
-			deleted[d] = true
-		}
-		for rowID, row := range ts.Rows {
-			if deleted[rowID] {
-				t.rows = append(t.rows, nil)
-				continue
+	replayed := false
+	if _, err := s.reopenStoreLocked(); err == nil &&
+		st.DurableSeq > 0 && s.store.CanRollbackTo(st.DurableSeq) {
+		if err := s.store.RollbackTo(st.DurableSeq); err == nil {
+			if tables, terr := tablesFromStore(s.store); terr == nil {
+				s.tables = tables
+				s.walReplays++
+				replayed = true
 			}
-			t.rows = append(t.rows, append(Row(nil), row...))
-			t.live++
 		}
-		for _, col := range ts.Indexes {
-			ci, err := t.colIndex(col)
-			if err != nil {
-				s.mu.Unlock()
-				return err
+	}
+	if !replayed {
+		s.logicalFallbacks++
+		s.tables = make(map[string]*table, len(st.Tables))
+		for _, ts := range st.Tables {
+			t := &table{name: ts.Name, cols: append([]ColDef(nil), ts.Cols...), indexes: make(map[string]*btree)}
+			deleted := make(map[int]bool, len(ts.Deleted))
+			for _, d := range ts.Deleted {
+				deleted[d] = true
 			}
-			idx := newBTree()
-			for rowID, row := range t.rows {
-				if row != nil {
-					idx.Insert(row[ci], rowID)
+			for rowID, row := range ts.Rows {
+				if deleted[rowID] {
+					t.rows = append(t.rows, nil)
+					continue
 				}
+				t.rows = append(t.rows, append(Row(nil), row...))
+				t.live++
 			}
-			t.indexes[col] = idx
+			for _, col := range ts.Indexes {
+				ci, err := t.colIndex(col)
+				if err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				idx := newBTree()
+				for rowID, row := range t.rows {
+					if row != nil {
+						idx.Insert(row[ci], rowID)
+					}
+				}
+				t.indexes[col] = idx
+			}
+			s.tables[t.name] = t
 		}
-		// Restore the datafile footprint if the failover lost it.
+		// Resync the store so the next restore can replay again. A failed
+		// resync leaves the store wounded; the next append repairs it.
+		if s.store != nil {
+			_ = s.store.Apply(s.stateOps())
+		}
+	}
+	// Restore each datafile's footprint if the failover lost it.
+	for _, t := range s.tables {
 		want := int64(len(t.rows)) * rowBytes
 		have := int64(0)
 		if s.env.Disk().Exists(t.dataFile()) {
@@ -370,7 +442,6 @@ func (s *Server) Restore(snapshot []byte) error {
 				return fmt.Errorf("sqldb: restore datafile %q: %w", t.name, err)
 			}
 		}
-		s.tables[t.name] = t
 	}
 	s.lockedTable = st.LockedTable
 	s.queries = st.Queries
@@ -394,6 +465,10 @@ func (s *Server) Reset() error {
 			_ = s.env.Disk().Remove(t.dataFile())
 		}
 	}
+	if s.store != nil {
+		_ = s.store.Destroy()
+		s.store = nil
+	}
 	s.tables = make(map[string]*table)
 	s.lockedTable = ""
 	s.queries = 0
@@ -401,4 +476,27 @@ func (s *Server) Reset() error {
 	s.connections = make(map[int]string)
 	s.mu.Unlock()
 	return s.Start()
+}
+
+// DurableStore exposes the engine's durable backend for probes that verify
+// acknowledged statements against recovered bytes.
+func (s *Server) DurableStore() *durable.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
+}
+
+// WALReplays counts restores served by checkpoint-load + log-replay.
+func (s *Server) WALReplays() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walReplays
+}
+
+// LogicalFallbacks counts restores that rebuilt from the JSON snapshot
+// because the log no longer reached the snapshot's sequence number.
+func (s *Server) LogicalFallbacks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logicalFallbacks
 }

@@ -1,0 +1,77 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzWALSeed builds a clean three-record log for the seed corpus.
+func fuzzWALSeed() []byte {
+	return encodeAll(sampleRecords())
+}
+
+// FuzzReadWAL drives the WAL reader with arbitrary bytes. Invariants: never
+// panics; valid never exceeds the input; the accepted prefix re-encodes to
+// the identical bytes (canonical encoding — no silent reinterpretation);
+// any rejection is one of the two typed errors, so corrupt input can never
+// masquerade as success.
+func FuzzReadWAL(f *testing.F) {
+	seed := fuzzWALSeed()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add(seed[:9])
+	flipped := append([]byte(nil), seed...)
+	flipped[13] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := ReadWAL(data)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid %d outside [0, %d]", valid, len(data))
+		}
+		if err != nil && !errors.Is(err, ErrTornTail) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped error: %v", err)
+		}
+		if err == nil && valid != len(data) {
+			t.Fatalf("silent success on a partial read: valid %d of %d", valid, len(data))
+		}
+		if !bytes.Equal(encodeAll(recs), data[:valid]) {
+			t.Fatal("accepted prefix does not re-encode to the input bytes")
+		}
+	})
+}
+
+// FuzzReadCheckpoint drives the checkpoint reader with arbitrary bytes.
+// Invariants: never panics; acceptance means the bytes are exactly the
+// canonical encoding of the decoded state (so damage cannot be silently
+// absorbed); every rejection is the typed ErrCorrupt.
+func FuzzReadCheckpoint(f *testing.F) {
+	seed := EncodeCheckpoint(map[string][]byte{
+		"a/key":  []byte("value-one"),
+		"b/key":  []byte("value-two"),
+		"scheme": nil,
+	}, 17)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])
+	flipped := append([]byte(nil), seed...)
+	flipped[10] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte("FSDCKPT1"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xa5}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		state, seq, err := ReadCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(EncodeCheckpoint(state, seq), data) {
+			t.Fatal("accepted checkpoint does not re-encode to the input bytes")
+		}
+	})
+}
